@@ -1,0 +1,46 @@
+// §4.3 attack-cost analysis: the cost of renting stressor services to break
+// one consensus run, and of keeping the Tor network down for a month. The
+// paper's headline numbers are $0.074 per run and $53.28 per month.
+#include <cstdio>
+#include <iostream>
+
+#include "src/attack/ddos.h"
+#include "src/common/table.h"
+
+int main() {
+  std::printf("=== §4.3: DDoS-for-hire attack cost model ===\n\n");
+
+  torattack::StressorCostModel model;
+  std::printf("Inputs (paper values):\n");
+  std::printf("  stressor cost           : $%.5f per Mbit/s per hour per target [22]\n",
+              model.usd_per_mbps_hour);
+  std::printf("  authority link capacity : %.0f Mbit/s [11]\n",
+              torattack::kAuthorityLinkBps / 1e6);
+  std::printf("  protocol bandwidth need : ~10 Mbit/s at 8,000 relays (Fig. 7)\n");
+  std::printf("  flood volume per target : %.0f Mbit/s\n", model.flood_mbps);
+  std::printf("  targets                 : %u of 9 authorities (majority)\n", model.targets);
+  std::printf("  attack window           : %.0f minutes per hourly run (vote rounds)\n\n",
+              model.attack_minutes_per_run);
+
+  torbase::Table table({"Quantity", "Measured", "Paper"});
+  table.AddRow({"Cost to break one consensus run",
+                "$" + torbase::Table::Num(model.CostPerRunUsd(), 3), "$0.074"});
+  table.AddRow({"Cost to keep Tor down for a month",
+                "$" + torbase::Table::Num(model.CostPerMonthUsd(), 2), "$53.28"});
+  table.Print(std::cout);
+
+  std::printf("\nSensitivity (flood volume x targets):\n");
+  torbase::Table sens({"Flood (Mbit/s)", "Targets", "$/run", "$/month"});
+  for (double flood : {120.0, 240.0, 480.0}) {
+    for (uint32_t targets : {5u, 9u}) {
+      torattack::StressorCostModel m = model;
+      m.flood_mbps = flood;
+      m.targets = targets;
+      sens.AddRow({torbase::Table::Num(flood, 0), torbase::Table::Int(targets),
+                   torbase::Table::Num(m.CostPerRunUsd(), 3),
+                   torbase::Table::Num(m.CostPerMonthUsd(), 2)});
+    }
+  }
+  sens.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 10: latency of generating a consensus document for the Current
+// protocol, Luo et al.'s Synchronous protocol and Ours, across bandwidth
+// settings (50/20/10/1/0.5 Mbit/s) and relay counts. "fail" marks runs where
+// no authority assembled a valid consensus — the thick vertical lines in the
+// paper's figure.
+//
+// Paper expectations: Current fails between 9,000 and 10,000 relays at
+// 10 Mbit/s; Synchronous fails beyond ~2,000 relays at 10 Mbit/s; both fail at
+// 1 and 0.5 Mbit/s even with 1,000 relays; Ours completes everywhere, with
+// second-scale overhead at high bandwidth and minute-scale latency at
+// 0.5 Mbit/s.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/metrics/experiment.h"
+
+namespace {
+
+using tormetrics::ExperimentConfig;
+using tormetrics::ProtocolKind;
+
+std::string Cell(const tormetrics::ExperimentResult& result) {
+  if (!result.succeeded) {
+    return "fail";
+  }
+  return torbase::Table::Num(result.latency_seconds, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = argc > 1 && std::string(argv[1]) == "--full";
+  std::printf("=== Figure 10: consensus latency (seconds) by protocol / bandwidth / relays ===\n");
+  std::printf("('fail' = no valid consensus; paper shows these as thick vertical lines)\n\n");
+
+  const std::vector<double> bandwidths_mbps = {50, 20, 10, 1, 0.5};
+  const std::vector<size_t> relay_counts =
+      full ? std::vector<size_t>{1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000}
+           : std::vector<size_t>{1000, 2500, 5000, 7500, 10000};
+
+  for (double bw : bandwidths_mbps) {
+    std::printf("--- %.1f Mbit/s ---\n", bw);
+    std::vector<std::string> headers = {"Relays", "Current", "Synchronous", "Ours"};
+    torbase::Table table(std::move(headers));
+    for (size_t relays : relay_counts) {
+      std::vector<std::string> row = {torbase::Table::Int(static_cast<long long>(relays))};
+      for (ProtocolKind kind :
+           {ProtocolKind::kCurrent, ProtocolKind::kSynchronous, ProtocolKind::kIcps}) {
+        ExperimentConfig config;
+        config.kind = kind;
+        config.relay_count = relays;
+        config.bandwidth_bps = bw * 1e6;
+        config.run_limit = torbase::Hours(4);
+        // Memory guard for the single-box harness: the Synchronous protocol's
+        // packed votes hold ~n^2 copies of every list in RAM at the largest
+        // sizes; skip (it fails there at low bandwidth anyway).
+        if (kind == ProtocolKind::kSynchronous && relays > 7500) {
+          row.push_back("(skipped)");
+          continue;
+        }
+        row.push_back(Cell(tormetrics::RunExperiment(config)));
+        std::fflush(stdout);
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("Paper shape check: Current fails only at 10 Mbit/s near 10,000 relays;\n"
+              "Synchronous fails at a few-times-smaller relay counts; both fail at 1/0.5\n"
+              "Mbit/s with 1,000 relays; Ours succeeds everywhere (minutes at 0.5 Mbit/s).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: SHA-256,
+// HMAC signatures, dir-spec serialization/parsing and the Figure-2 aggregation
+// algorithm. These are the operations that dominate the wall-clock cost of the
+// experiment harness.
+#include <benchmark/benchmark.h>
+
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/signature.h"
+#include "src/tordir/aggregate.h"
+#include "src/tordir/dirspec.h"
+#include "src/tordir/generator.h"
+
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  const std::vector<uint8_t> data(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(torcrypto::Sha256Digest(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_HmacSign(benchmark::State& state) {
+  torcrypto::KeyDirectory directory(1, 9);
+  const auto signer = directory.SignerFor(0);
+  const std::vector<uint8_t> message(256, 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signer.Sign(message));
+  }
+}
+BENCHMARK(BM_HmacSign);
+
+void BM_SignatureVerify(benchmark::State& state) {
+  torcrypto::KeyDirectory directory(1, 9);
+  const std::vector<uint8_t> message(256, 0x42);
+  const auto sig = directory.SignerFor(0).Sign(message);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(directory.Verify(message, sig));
+  }
+}
+BENCHMARK(BM_SignatureVerify);
+
+tordir::VoteDocument MakeBenchVote(size_t relays) {
+  tordir::PopulationConfig config;
+  config.relay_count = relays;
+  config.seed = 3;
+  const auto population = tordir::GeneratePopulation(config);
+  return tordir::MakeVote(0, 9, population, config);
+}
+
+void BM_SerializeVote(benchmark::State& state) {
+  const auto vote = MakeBenchVote(static_cast<size_t>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string text = tordir::SerializeVote(vote);
+    bytes = text.size();
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * bytes));
+}
+BENCHMARK(BM_SerializeVote)->Arg(1000)->Arg(8000);
+
+void BM_ParseVote(benchmark::State& state) {
+  const std::string text = tordir::SerializeVote(MakeBenchVote(static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto parsed = tordir::ParseVote(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_ParseVote)->Arg(1000)->Arg(8000);
+
+void BM_ComputeConsensus(benchmark::State& state) {
+  tordir::PopulationConfig config;
+  config.relay_count = static_cast<size_t>(state.range(0));
+  config.seed = 3;
+  const auto population = tordir::GeneratePopulation(config);
+  const auto votes = tordir::MakeAllVotes(9, population, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tordir::ComputeConsensus(votes));
+  }
+}
+BENCHMARK(BM_ComputeConsensus)->Arg(1000)->Arg(4000);
+
+}  // namespace

@@ -1,0 +1,44 @@
+// Table 2 / Appendix B.2: round complexity of the ICPS sub-protocols.
+//
+// The paper counts 2 rounds for dissemination, 2 for aggregation, and a
+// protocol-specific count for agreement (5 for its Jolteon-style HotStuff,
+// giving 9 total). Our agreement engine is basic HotStuff (8 message rounds in
+// the good case: NEW_VIEW + 3 phases of leader-broadcast/vote + DECIDE), so
+// the total here is 12; both accountings are printed. We verify the structural
+// claim empirically by timing a healthy run: end-to-end completion beyond
+// dissemination should be a small multiple of the one-way network latency.
+#include <cstdio>
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/metrics/experiment.h"
+
+int main() {
+  std::printf("=== Table 2: rounds of each ICPS sub-protocol ===\n\n");
+
+  torbase::Table table({"Sub-protocol", "Rounds (paper)", "3-phase mode", "2-phase mode"});
+  table.AddRow({"Dissemination", "2", "2  (DOCUMENT, PROPOSAL)", "2"});
+  table.AddRow({"Agreement", "protocol-specific (Jolteon: 5)",
+                "8  (NEW_VIEW + 3x(propose, vote) + DECIDE)",
+                "6  (NEW_VIEW + 2x(propose, vote) + DECIDE)"});
+  table.AddRow({"Aggregation", "2", "2  (DOC_REQUEST/RESPONSE; 0 on fast path)", "2"});
+  table.AddRow({"Total", "9", "12", "10"});
+  table.Print(std::cout);
+
+  // Empirical check: with ample bandwidth the post-dissemination part of the
+  // run costs round_count * one-way latency (50 ms hops here), so the 2-phase
+  // commit path should complete exactly two hops earlier.
+  std::printf("\nEmpirical good case (500 relays, 1 Gbit/s, 50 ms hops):\n");
+  for (bool two_phase : {false, true}) {
+    tormetrics::ExperimentConfig config;
+    config.kind = tormetrics::ProtocolKind::kIcps;
+    config.relay_count = 500;
+    config.bandwidth_bps = 1e9;
+    config.two_phase_agreement = two_phase;
+    const auto result = tormetrics::RunExperiment(config);
+    std::printf("  %-8s end-to-end %.2f s (~%.0f one-way hops), %u/9 authorities valid\n",
+                two_phase ? "2-phase:" : "3-phase:", result.latency_seconds,
+                result.latency_seconds / 0.05, result.valid_count);
+  }
+  return 0;
+}

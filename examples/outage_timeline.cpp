@@ -1,0 +1,79 @@
+// The §2.1 arithmetic that makes the attack catastrophic: consensus documents
+// are valid for three hours and generated hourly, so an attacker who breaks
+// every hourly run (five minutes of flooding each) takes the whole network
+// down three hours after the first broken run — and keeps it down for
+// $53.28/month. This example simulates a day of hourly runs under different
+// protocols/attack policies and prints the availability timeline.
+//
+//   ./build/examples/outage_timeline
+#include <cstdio>
+
+#include "src/attack/ddos.h"
+#include "src/metrics/experiment.h"
+#include "src/tordir/freshness.h"
+
+namespace {
+
+// Simulates one hourly run: the attacker floods 5 authorities for the first
+// five minutes of the run (if attacking this hour).
+bool RunHour(tormetrics::ProtocolKind kind, bool attacked) {
+  tormetrics::ExperimentConfig config;
+  config.kind = kind;
+  config.relay_count = 2000;
+  if (attacked) {
+    torattack::AttackWindow window;
+    window.targets = torattack::FirstTargets(5);
+    window.start = 0;
+    window.end = torbase::Minutes(5);
+    window.available_bps = torattack::kUnderAttackBps;
+    config.attacks.push_back(window);
+  }
+  return tormetrics::RunExperiment(config).succeeded;
+}
+
+void PrintTimeline(const char* label, const std::vector<bool>& runs) {
+  const auto timeline = tordir::AnalyzeAvailability(runs);
+  std::printf("%-34s runs: ", label);
+  for (bool ok : runs) {
+    std::printf("%c", ok ? '+' : 'x');
+  }
+  std::printf("\n%-34s  net: ", "");
+  for (bool up : timeline.network_up) {
+    std::printf("%c", up ? '+' : '!');
+  }
+  if (timeline.first_down_hour.has_value()) {
+    std::printf("   DOWN from hour %zu (%zu h total)\n", *timeline.first_down_hour,
+                timeline.hours_down);
+  } else {
+    std::printf("   network up throughout\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Network availability under hourly attacks (12 hours simulated)\n");
+  std::printf("'+' = run succeeded / network up, 'x' = run failed, '!' = network down\n\n");
+
+  constexpr int kHours = 12;
+
+  // The attacker starts flooding at hour 2 and never stops.
+  std::vector<bool> current_runs;
+  std::vector<bool> icps_runs;
+  for (int hour = 0; hour < kHours; ++hour) {
+    const bool attacked = hour >= 2;
+    current_runs.push_back(RunHour(tormetrics::ProtocolKind::kCurrent, attacked));
+    icps_runs.push_back(RunHour(tormetrics::ProtocolKind::kIcps, attacked));
+    std::fflush(stdout);
+  }
+  PrintTimeline("Current, attack from hour 2:", current_runs);
+  std::printf("\n");
+  PrintTimeline("Ours (ICPS), attack from hour 2:", icps_runs);
+
+  std::printf("\nThe deployed protocol loses every attacked run; three hours after the first\n");
+  std::printf("loss, clients have no valid consensus left and Tor is down — for as long as\n");
+  std::printf("the attacker keeps paying ~$0.074/hour. The partial-synchrony protocol\n");
+  std::printf("completes each run after the 5-minute flood ends, so the network never goes\n");
+  std::printf("down.\n");
+  return 0;
+}

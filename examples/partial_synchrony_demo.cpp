@@ -1,0 +1,54 @@
+// Side-by-side demonstration of the mitigation (§5/§6, Figure 11): the same
+// five-minute DDoS that kills the deployed protocol only *delays* the
+// partial-synchrony protocol, which produces a consensus seconds after
+// connectivity returns.
+//
+//   ./build/examples/partial_synchrony_demo
+#include <cstdio>
+
+#include "src/attack/ddos.h"
+#include "src/metrics/experiment.h"
+
+namespace {
+
+void RunOne(tormetrics::ProtocolKind kind, const torattack::AttackWindow& attack) {
+  tormetrics::ExperimentConfig config;
+  config.kind = kind;
+  config.relay_count = 4000;
+  config.attacks = {attack};
+  const auto result = tormetrics::RunExperiment(config);
+  std::printf("  %-12s : ", tormetrics::ProtocolName(kind));
+  if (result.succeeded) {
+    const double after = result.finish_time_seconds - torbase::ToSeconds(attack.end);
+    std::printf("valid consensus %.1f s after the attack ended (%u/9 authorities)\n", after,
+                result.valid_count);
+  } else {
+    std::printf("FAILED — next chance is the rerun ~30 min later (2100 s total)\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Partial synchrony vs. a 5-minute DDoS (4,000 relays)\n");
+  std::printf("====================================================\n\n");
+  std::printf("Attack: 5 of 9 authorities fully offline during [0, 5 min),\n");
+  std::printf("network restored to 250 Mbit/s afterwards (the Figure 11 scenario).\n\n");
+
+  torattack::AttackWindow attack;
+  attack.targets = torattack::FirstTargets(5);
+  attack.start = 0;
+  attack.end = torbase::Minutes(5);
+  attack.available_bps = 0.0;
+
+  RunOne(tormetrics::ProtocolKind::kCurrent, attack);
+  RunOne(tormetrics::ProtocolKind::kSynchronous, attack);
+  RunOne(tormetrics::ProtocolKind::kIcps, attack);
+
+  std::printf("\nWhy: the lock-step protocols bind vote transfers to fixed 150 s rounds, so\n");
+  std::printf("a synchrony violation during the vote rounds is unrecoverable within the run.\n");
+  std::printf("ICPS separates dissemination (arbitrary delay) from agreement (view-based\n");
+  std::printf("HotStuff), so queued documents drain when the attack ends and the next view\n");
+  std::printf("decides within seconds.\n");
+  return 0;
+}

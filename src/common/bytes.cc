@@ -1,0 +1,78 @@
+#include "src/common/bytes.h"
+
+namespace torbase {
+namespace {
+
+constexpr char kHexLower[] = "0123456789abcdef";
+constexpr char kHexUpper[] = "0123456789ABCDEF";
+
+std::string EncodeWithAlphabet(std::span<const uint8_t> data, const char* alphabet) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t byte : data) {
+    out.push_back(alphabet[byte >> 4]);
+    out.push_back(alphabet[byte & 0x0f]);
+  }
+  return out;
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string HexEncode(std::span<const uint8_t> data) {
+  return EncodeWithAlphabet(data, kHexLower);
+}
+
+std::string HexEncodeUpper(std::span<const uint8_t> data) {
+  return EncodeWithAlphabet(data, kHexUpper);
+}
+
+std::optional<Bytes> HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return std::nullopt;
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return std::nullopt;
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes BytesOfString(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string StringOfBytes(std::span<const uint8_t> b) {
+  return std::string(b.begin(), b.end());
+}
+
+bool ConstantTimeEqual(std::span<const uint8_t> a, std::span<const uint8_t> b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return acc == 0;
+}
+
+}  // namespace torbase

@@ -1,0 +1,40 @@
+// Byte-buffer helpers: hex encoding/decoding and byte-vector utilities shared by
+// every module in the repository.
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace torbase {
+
+using Bytes = std::vector<uint8_t>;
+
+// Encodes `data` as lowercase hex ("deadbeef").
+std::string HexEncode(std::span<const uint8_t> data);
+
+// Encodes `data` as uppercase hex, the convention Tor uses for fingerprints.
+std::string HexEncodeUpper(std::span<const uint8_t> data);
+
+// Decodes a hex string (either case). Returns std::nullopt on odd length or
+// non-hex characters.
+std::optional<Bytes> HexDecode(std::string_view hex);
+
+// Returns a Bytes copy of the raw characters of `s`.
+Bytes BytesOfString(std::string_view s);
+
+// Returns the raw characters of `b` as a std::string.
+std::string StringOfBytes(std::span<const uint8_t> b);
+
+// Constant-time equality; avoids leaking the mismatch position. Not strictly
+// needed inside a simulator but cheap and matches how real implementations
+// compare digests and MACs.
+bool ConstantTimeEqual(std::span<const uint8_t> a, std::span<const uint8_t> b);
+
+}  // namespace torbase
+
+#endif  // SRC_COMMON_BYTES_H_

@@ -1,0 +1,16 @@
+// Node identity vocabulary shared by the simulator, protocols and crypto layers.
+#ifndef SRC_COMMON_IDS_H_
+#define SRC_COMMON_IDS_H_
+
+#include <cstdint>
+
+namespace torbase {
+
+// Index of a directory authority / protocol node: 0 .. n-1.
+using NodeId = uint32_t;
+
+constexpr NodeId kNoNode = ~0u;
+
+}  // namespace torbase
+
+#endif  // SRC_COMMON_IDS_H_

@@ -1,0 +1,53 @@
+// Deterministic random number generation (xoshiro256** seeded via splitmix64).
+// All stochastic workload generation in the repository flows through this type so
+// that any experiment is exactly reproducible from its seed.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace torbase {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Raw 64 random bits.
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t UniformU64(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Normal(mean, stddev) via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Random lowercase alphanumeric string of length `len`.
+  std::string AlphaNumeric(size_t len);
+
+  // `n` random bytes.
+  std::vector<uint8_t> RandomBytes(size_t n);
+
+  // Derives an independent child generator; useful to give each simulated node
+  // its own stream without cross-coupling.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace torbase
+
+#endif  // SRC_COMMON_RNG_H_

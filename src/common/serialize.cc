@@ -1,0 +1,122 @@
+#include "src/common/serialize.h"
+
+namespace torbase {
+
+void Writer::WriteU8(uint8_t v) { buffer_.push_back(v); }
+
+void Writer::WriteU16(uint16_t v) {
+  buffer_.push_back(static_cast<uint8_t>(v));
+  buffer_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void Writer::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::WriteU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+void Writer::WriteBytes(std::span<const uint8_t> data) {
+  WriteU32(static_cast<uint32_t>(data.size()));
+  WriteRaw(data);
+}
+
+void Writer::WriteString(std::string_view s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void Writer::WriteRaw(std::span<const uint8_t> data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+Status Reader::Need(size_t n) {
+  if (pos_ + n > data_.size()) {
+    return Status::OutOfRange("truncated input: need " + std::to_string(n) + " bytes, have " +
+                              std::to_string(data_.size() - pos_));
+  }
+  return Status::Ok();
+}
+
+Result<uint8_t> Reader::ReadU8() {
+  if (Status s = Need(1); !s.ok()) {
+    return s;
+  }
+  return data_[pos_++];
+}
+
+Result<uint16_t> Reader::ReadU16() {
+  if (Status s = Need(2); !s.ok()) {
+    return s;
+  }
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) | static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> Reader::ReadU32() {
+  if (Status s = Need(4); !s.ok()) {
+    return s;
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> Reader::ReadU64() {
+  if (Status s = Need(8); !s.ok()) {
+    return s;
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<bool> Reader::ReadBool() {
+  auto v = ReadU8();
+  if (!v.ok()) {
+    return v.status();
+  }
+  return *v != 0;
+}
+
+Result<Bytes> Reader::ReadBytes() {
+  auto len = ReadU32();
+  if (!len.ok()) {
+    return len.status();
+  }
+  return ReadRaw(*len);
+}
+
+Result<std::string> Reader::ReadString() {
+  auto raw = ReadBytes();
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  return std::string(raw->begin(), raw->end());
+}
+
+Result<Bytes> Reader::ReadRaw(size_t n) {
+  if (Status s = Need(n); !s.ok()) {
+    return s;
+  }
+  Bytes out(data_.begin() + static_cast<ptrdiff_t>(pos_),
+            data_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace torbase

@@ -1,0 +1,72 @@
+// Binary serialization used for protocol wire messages. Fixed-width little-endian
+// integers plus length-prefixed byte strings; a Writer builds a buffer and a
+// Reader consumes one with explicit bounds checking (no exceptions, no UB on
+// truncated input).
+#ifndef SRC_COMMON_SERIALIZE_H_
+#define SRC_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace torbase {
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void WriteU8(uint8_t v);
+  void WriteU16(uint16_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteBool(bool v);
+  // Length-prefixed (u32) byte string.
+  void WriteBytes(std::span<const uint8_t> data);
+  // Length-prefixed (u32) character string.
+  void WriteString(std::string_view s);
+  // Raw bytes with no length prefix (caller knows the framing).
+  void WriteRaw(std::span<const uint8_t> data);
+
+  const Bytes& buffer() const { return buffer_; }
+  Bytes TakeBuffer() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> data) : data_(data) {}
+  // A Reader only views the buffer; constructing one over a temporary would
+  // leave the span dangling.
+  explicit Reader(Bytes&&) = delete;
+
+  Result<uint8_t> ReadU8();
+  Result<uint16_t> ReadU16();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<bool> ReadBool();
+  Result<Bytes> ReadBytes();
+  Result<std::string> ReadString();
+  // Reads exactly n raw bytes.
+  Result<Bytes> ReadRaw(size_t n);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t n);
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace torbase
+
+#endif  // SRC_COMMON_SERIALIZE_H_

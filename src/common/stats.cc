@@ -1,0 +1,102 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace torbase {
+
+uint64_t MedianLow(std::vector<uint64_t> values) {
+  if (values.empty()) {
+    return 0;
+  }
+  const size_t mid = (values.size() - 1) / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<ptrdiff_t>(mid), values.end());
+  return values[mid];
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    acc += (v - mean) * (v - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double Percentile(std::vector<double> values, double pct) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  pct = std::clamp(pct, 0.0, 100.0);
+  const double rank = pct / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t idx = static_cast<size_t>(std::llround(rank));
+  return values[std::min(idx, values.size() - 1)];
+}
+
+LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys) {
+  LinearFit fit;
+  const size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) {
+    return fit;
+  }
+  double sx = 0;
+  double sy = 0;
+  double sxx = 0;
+  double sxy = 0;
+  double syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) {
+    return fit;
+  }
+  fit.slope = (dn * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+  const double ss_tot = syy - sy * sy / dn;
+  if (ss_tot > 0.0) {
+    double ss_res = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double e = ys[i] - (fit.slope * xs[i] + fit.intercept);
+      ss_res += e * e;
+    }
+    fit.r2 = 1.0 - ss_res / ss_tot;
+  }
+  return fit;
+}
+
+double GrowthExponent(const std::vector<double>& xs, const std::vector<double>& ys) {
+  std::vector<double> lx;
+  std::vector<double> ly;
+  const size_t n = std::min(xs.size(), ys.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (xs[i] > 0.0 && ys[i] > 0.0) {
+      lx.push_back(std::log(xs[i]));
+      ly.push_back(std::log(ys[i]));
+    }
+  }
+  return FitLine(lx, ly).slope;
+}
+
+}  // namespace torbase

@@ -1,0 +1,41 @@
+// Small statistics helpers used by the aggregation algorithm (median bandwidth)
+// and by the bench harness (latency summaries, linear fits for complexity checks).
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace torbase {
+
+// Median with the "low median" convention Tor uses for even-sized inputs
+// (dir-spec: the middle element after sorting, lower one on ties). Input is
+// copied; returns 0 for an empty vector.
+uint64_t MedianLow(std::vector<uint64_t> values);
+
+// Arithmetic mean; 0.0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+// Population standard deviation; 0.0 for fewer than two values.
+double StdDev(const std::vector<double>& values);
+
+// Percentile in [0,100] by nearest-rank; 0.0 for an empty vector.
+double Percentile(std::vector<double> values, double pct);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+// Ordinary least squares of y on x. Requires xs.size() == ys.size().
+LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+// Fits y = c * x^k in log-log space and returns k (the empirical growth
+// exponent). Used by the Table-1 bench to confirm communication complexity
+// orders. Ignores non-positive points.
+double GrowthExponent(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace torbase
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,69 @@
+#include "src/common/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace torbase {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  if (std::isnan(v)) {
+    return "-";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Int(long long v) { return std::to_string(v); }
+
+std::string Table::Render() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : headers_[c];
+      line += cell;
+      line.append(widths[c] - cell.size(), ' ');
+      if (c + 1 != headers_.size()) {
+        line += "  ";
+      }
+    }
+    // Trim trailing padding.
+    while (!line.empty() && line.back() == ' ') {
+      line.pop_back();
+    }
+    line += "\n";
+    return line;
+  };
+  std::string out = render_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 != widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += "\n";
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+void Table::Print(std::ostream& os) const { os << Render(); }
+
+}  // namespace torbase

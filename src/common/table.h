@@ -1,0 +1,34 @@
+// Console table rendering for the bench harness: each bench prints rows shaped
+// like the paper's tables/figure series.
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace torbase {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Convenience: formats doubles with `precision` decimals, "-" for NaN.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(long long v);
+
+  // Renders with aligned columns, a header separator, and a trailing newline.
+  std::string Render() const;
+  void Print(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace torbase
+
+#endif  // SRC_COMMON_TABLE_H_

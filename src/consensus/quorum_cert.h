@@ -1,0 +1,49 @@
+// Quorum certificates for the view-based BFT engine: a phase/view/digest tuple
+// plus signatures from at least (n - f) distinct nodes.
+#ifndef SRC_CONSENSUS_QUORUM_CERT_H_
+#define SRC_CONSENSUS_QUORUM_CERT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/serialize.h"
+#include "src/crypto/digest.h"
+#include "src/crypto/signature.h"
+
+namespace torbft {
+
+using View = uint64_t;
+
+enum class Phase : uint8_t {
+  kPrepare = 1,
+  kPreCommit = 2,
+  kCommit = 3,
+};
+
+// The byte string a vote signature covers: (phase, view, value digest).
+torbase::Bytes VotePayload(Phase phase, View view, const torcrypto::Digest256& digest);
+
+struct QuorumCert {
+  Phase phase = Phase::kPrepare;
+  View view = 0;
+  torcrypto::Digest256 digest;
+  std::vector<torcrypto::Signature> signatures;
+
+  bool operator==(const QuorumCert&) const = default;
+
+  void Encode(torbase::Writer& w) const;
+  static torbase::Result<QuorumCert> Decode(torbase::Reader& r);
+
+  // True iff the certificate carries >= quorum valid signatures from distinct
+  // signers over VotePayload(phase, view, digest).
+  bool Verify(const torcrypto::KeyDirectory& directory, uint32_t quorum) const;
+};
+
+// Optional-QC encoding helpers (QCs are frequently absent in early views).
+void EncodeOptionalQc(torbase::Writer& w, const std::optional<QuorumCert>& qc);
+torbase::Result<std::optional<QuorumCert>> DecodeOptionalQc(torbase::Reader& r);
+
+}  // namespace torbft
+
+#endif  // SRC_CONSENSUS_QUORUM_CERT_H_

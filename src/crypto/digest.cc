@@ -1,0 +1,11 @@
+#include "src/crypto/digest.h"
+
+#include "src/common/bytes.h"
+
+namespace torcrypto {
+
+std::string Digest256::ToHex() const { return torbase::HexEncode(bytes_); }
+
+std::string Digest256::ShortHex() const { return ToHex().substr(0, 8); }
+
+}  // namespace torcrypto

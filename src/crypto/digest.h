@@ -1,0 +1,63 @@
+// Digest256: a strongly typed 32-byte SHA-256 digest with value semantics,
+// ordering, hashing and hex rendering. Protocol messages carry Digest256 values
+// instead of raw byte vectors so size/type errors are caught at compile time.
+#ifndef SRC_CRYPTO_DIGEST_H_
+#define SRC_CRYPTO_DIGEST_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/crypto/sha256.h"
+
+namespace torcrypto {
+
+class Digest256 {
+ public:
+  Digest256() { bytes_.fill(0); }
+  explicit Digest256(const std::array<uint8_t, kSha256DigestSize>& bytes) : bytes_(bytes) {}
+
+  static Digest256 Of(std::span<const uint8_t> data) { return Digest256(Sha256Digest(data)); }
+  static Digest256 Of(std::string_view data) { return Digest256(Sha256Digest(data)); }
+
+  const std::array<uint8_t, kSha256DigestSize>& bytes() const { return bytes_; }
+  std::span<const uint8_t> span() const { return bytes_; }
+
+  bool IsZero() const {
+    for (uint8_t b : bytes_) {
+      if (b != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::string ToHex() const;
+  // First 8 hex chars; convenient in log lines.
+  std::string ShortHex() const;
+
+  auto operator<=>(const Digest256&) const = default;
+
+ private:
+  std::array<uint8_t, kSha256DigestSize> bytes_;
+};
+
+}  // namespace torcrypto
+
+template <>
+struct std::hash<torcrypto::Digest256> {
+  size_t operator()(const torcrypto::Digest256& d) const noexcept {
+    // The digest is already uniform; fold the first 8 bytes.
+    size_t h = 0;
+    for (int i = 0; i < 8; ++i) {
+      h = (h << 8) | d.bytes()[i];
+    }
+    return h;
+  }
+};
+
+#endif  // SRC_CRYPTO_DIGEST_H_

@@ -1,0 +1,46 @@
+// From-scratch SHA-256 (FIPS 180-4). Used for document digests, fingerprints and
+// as the PRF underlying the simulated signature scheme. Verified against the
+// FIPS/NIST test vectors in tests/crypto_test.cc.
+#ifndef SRC_CRYPTO_SHA256_H_
+#define SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace torcrypto {
+
+constexpr size_t kSha256DigestSize = 32;
+constexpr size_t kSha256BlockSize = 64;
+
+// Incremental hashing context.
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(std::span<const uint8_t> data);
+  void Update(std::string_view data);
+
+  // Finalizes and returns the digest. The context must not be reused after
+  // Finish() without Reset().
+  std::array<uint8_t, kSha256DigestSize> Finish();
+
+  void Reset();
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_bytes_ = 0;
+  uint8_t buffer_[kSha256BlockSize];
+  size_t buffered_ = 0;
+};
+
+// One-shot helpers.
+std::array<uint8_t, kSha256DigestSize> Sha256Digest(std::span<const uint8_t> data);
+std::array<uint8_t, kSha256DigestSize> Sha256Digest(std::string_view data);
+
+}  // namespace torcrypto
+
+#endif  // SRC_CRYPTO_SHA256_H_

@@ -1,0 +1,72 @@
+// The shared experiment driver behind the bench harness: builds a simulated
+// authority network, installs attack windows, runs one directory-protocol
+// round for the selected protocol and reports the paper's metrics (§6.1/§6.2).
+#ifndef SRC_METRICS_EXPERIMENT_H_
+#define SRC_METRICS_EXPERIMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/attack/ddos.h"
+#include "src/common/time.h"
+#include "src/tordir/aggregate.h"
+
+namespace tormetrics {
+
+enum class ProtocolKind {
+  kCurrent,      // deployed v3 protocol (src/protocols/current)
+  kSynchronous,  // Luo et al.'s fix (src/protocols/sync)
+  kIcps,         // this paper's protocol (src/core)
+};
+
+const char* ProtocolName(ProtocolKind kind);
+
+struct ExperimentConfig {
+  ProtocolKind kind = ProtocolKind::kCurrent;
+  uint32_t authority_count = 9;
+  size_t relay_count = 7000;
+  uint64_t seed = 1;
+  // Uniform authority NIC capacity (Figure 10 sweeps this).
+  double bandwidth_bps = torattack::kAuthorityLinkBps;
+  torbase::Duration latency = torbase::Millis(50);
+  std::vector<torattack::AttackWindow> attacks;
+  // Simulation horizon; the ICPS protocol under heavy starvation may need
+  // hours of virtual time.
+  torbase::TimePoint run_limit = torbase::Hours(4);
+  // ICPS dissemination wait Δ.
+  torbase::Duration dissemination_timeout = torbase::Seconds(150);
+  // ICPS agreement commit path: false = 3-phase HotStuff (default), true =
+  // Jolteon-style 2-phase (the paper's variant).
+  bool two_phase_agreement = false;
+};
+
+struct ExperimentResult {
+  bool succeeded = false;    // >= 1 authority assembled a valid consensus
+  uint32_t valid_count = 0;  // authorities with a valid consensus
+
+  // The paper's §6.2 "network time": for the lock-step protocols, the sum of
+  // per-round processing times (excluding the idle remainder of each 150 s
+  // round); for ICPS, simply start-to-finish. NaN when the run failed.
+  double latency_seconds = 0.0;
+  // Absolute virtual time of the last authority finishing. NaN on failure.
+  double finish_time_seconds = 0.0;
+
+  size_t consensus_relays = 0;
+  uint64_t total_bytes_sent = 0;
+  std::map<std::string, uint64_t> bytes_by_kind;
+};
+
+// Runs one full protocol round. Deterministic given the config.
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+// Binary-searches the minimum per-victim bandwidth (in bits/s, within
+// [lo, hi]) at which the protocol still succeeds while `victim_count`
+// authorities are clamped for the whole run — the Figure 7 measurement.
+// `probes` halvings give ~hi/2^probes resolution.
+double FindBandwidthRequirement(const ExperimentConfig& base, uint32_t victim_count, double lo_bps,
+                                double hi_bps, int probes = 7);
+
+}  // namespace tormetrics
+
+#endif  // SRC_METRICS_EXPERIMENT_H_

@@ -1,0 +1,99 @@
+// The deployed Tor directory protocol, version 3 (paper §3.1, Figure 4): four
+// lock-step rounds of 150 s each, run once per hour.
+//
+//   round 1  [0, R)    Perform Vote    — post the vote to every authority
+//   round 2  [R, 2R)   Fetch Votes     — ask every peer for missing votes
+//   round 3  [2R, 3R)  Send Signature  — aggregate, sign, post the signature
+//   round 4  [3R, 4R)  Fetch Signatures— ask every peer for missing signatures
+//
+// A consensus can be computed only with votes from a majority of authorities
+// (5 of 9), and is valid only once a majority of authorities signed the same
+// document. Individual directory transfers are abandoned when they exceed the
+// configured per-request deadline, which is exactly how the DDoS attack of §4
+// breaks the protocol: victims' bandwidth no longer moves a vote inside the
+// deadline, fetch retries fail the same way, and consensus computation comes up
+// short ("We don't have enough votes to generate a consensus: 4 of 5").
+#ifndef SRC_PROTOCOLS_CURRENT_CURRENT_AUTHORITY_H_
+#define SRC_PROTOCOLS_CURRENT_CURRENT_AUTHORITY_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "src/common/serialize.h"
+#include "src/crypto/digest.h"
+#include "src/crypto/signature.h"
+#include "src/protocols/common.h"
+#include "src/sim/actor.h"
+#include "src/tordir/vote.h"
+
+namespace torproto {
+
+class CurrentAuthority : public torsim::Actor {
+ public:
+  // `directory` must outlive the actor. The authority signs with the key for
+  // its node id.
+  CurrentAuthority(const ProtocolConfig& config, const torcrypto::KeyDirectory* directory,
+                   tordir::VoteDocument own_vote);
+
+  void Start() override;
+  void OnMessage(NodeId from, const torbase::Bytes& payload) override;
+
+  const AuthorityOutcome& outcome() const { return outcome_; }
+  bool finished() const { return finished_; }
+
+ private:
+  enum MessageType : uint8_t {
+    kVotePost = 1,
+    kVoteRequest = 2,
+    kVoteResponse = 3,
+    kSigPost = 4,
+    kSigRequest = 5,
+    kSigResponse = 6,
+  };
+
+  void BeginVoteRound();
+  void BeginFetchVotesRound();
+  void BeginComputeRound();
+  void BeginFetchSignaturesRound();
+  void Finish();
+
+  void HandleVotePost(NodeId from, torbase::Reader& reader);
+  void HandleVoteRequest(NodeId from, torbase::Reader& reader);
+  void HandleVoteResponse(NodeId from, torbase::Reader& reader);
+  void HandleSigPost(NodeId from, torbase::Reader& reader);
+  void HandleSigRequest(NodeId from, torbase::Reader& reader);
+  void HandleSigResponse(NodeId from, torbase::Reader& reader);
+
+  // Stores a serialized vote if it parses, is new and names a valid authority.
+  void AcceptVote(const std::string& text);
+  void AcceptSignature(const torcrypto::Signature& sig);
+  void MaybeRecordVoteCompletion();
+
+  ProtocolConfig config_;
+  const torcrypto::KeyDirectory* directory_;
+  torcrypto::Signer signer_;
+  tordir::VoteDocument own_vote_;
+  std::string own_vote_text_;
+
+  // Votes received (and their serialized form, for re-serving fetches).
+  std::map<NodeId, tordir::VoteDocument> votes_;
+  std::map<NodeId, std::string> vote_texts_;
+
+  // Signatures over our computed consensus digest.
+  std::map<NodeId, torcrypto::Signature> signatures_;
+  std::optional<torcrypto::Digest256> consensus_digest_;
+
+  // Fetch bookkeeping: ids we asked for and when, to log give-ups.
+  std::set<NodeId> outstanding_vote_fetches_;
+  bool fetch_round_started_ = false;
+  bool compute_done_ = false;
+  bool finished_ = false;
+
+  AuthorityOutcome outcome_;
+};
+
+}  // namespace torproto
+
+#endif  // SRC_PROTOCOLS_CURRENT_CURRENT_AUTHORITY_H_

@@ -1,0 +1,109 @@
+#include "src/sim/bandwidth.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace torsim {
+
+BandwidthSchedule::BandwidthSchedule(double initial_bits_per_sec) {
+  assert(initial_bits_per_sec >= 0.0);
+  rates_[0] = initial_bits_per_sec;
+}
+
+void BandwidthSchedule::SetRateFrom(TimePoint from, double bits_per_sec) {
+  assert(bits_per_sec >= 0.0);
+  rates_[from] = bits_per_sec;
+}
+
+void BandwidthSchedule::LimitDuring(TimePoint from, TimePoint to, double bits_per_sec) {
+  assert(from < to);
+  const double resume_rate = RateAt(to);
+  // Drop change points swallowed by the window, then insert the clamp and the
+  // restore point.
+  auto it = rates_.lower_bound(from);
+  while (it != rates_.end() && it->first < to) {
+    it = rates_.erase(it);
+  }
+  rates_[from] = bits_per_sec;
+  rates_[to] = resume_rate;
+}
+
+double BandwidthSchedule::RateAt(TimePoint t) const {
+  auto it = rates_.upper_bound(t);
+  assert(it != rates_.begin());
+  --it;
+  return it->second;
+}
+
+TimePoint BandwidthSchedule::NextChangeAfter(TimePoint t) const {
+  auto it = rates_.upper_bound(t);
+  if (it == rates_.end()) {
+    return torbase::kTimeNever;
+  }
+  return it->first;
+}
+
+TimePoint BandwidthSchedule::FinishTime(TimePoint start, double bits) const {
+  assert(bits >= 0.0);
+  if (bits == 0.0) {
+    return start;
+  }
+  double remaining = bits;
+  TimePoint t = start;
+  auto it = rates_.upper_bound(start);
+  // `it` points at the first change strictly after start; the active segment
+  // begins at prev(it).
+  for (;;) {
+    const double rate = std::prev(it)->second;
+    const TimePoint segment_end = (it == rates_.end()) ? torbase::kTimeNever : it->first;
+    if (std::isinf(rate)) {
+      return t;
+    }
+    if (rate > 0.0) {
+      // Time (in microseconds) to push `remaining` bits at `rate` bits/sec.
+      const double micros_needed = remaining / rate * 1e6;
+      if (segment_end == torbase::kTimeNever ||
+          micros_needed <= static_cast<double>(segment_end - t)) {
+        const double finish = static_cast<double>(t) + micros_needed;
+        if (finish >= static_cast<double>(torbase::kTimeNever)) {
+          return torbase::kTimeNever;
+        }
+        // Round up so the transmission is never reported complete early.
+        return static_cast<TimePoint>(std::ceil(finish));
+      }
+      remaining -= rate * static_cast<double>(segment_end - t) / 1e6;
+    }
+    if (segment_end == torbase::kTimeNever) {
+      // Zero rate with no future change: never completes.
+      return torbase::kTimeNever;
+    }
+    t = segment_end;
+    ++it;
+  }
+}
+
+double BandwidthSchedule::CapacityDuring(TimePoint from, TimePoint to) const {
+  if (to <= from) {
+    return 0.0;
+  }
+  double bits = 0.0;
+  TimePoint t = from;
+  auto it = rates_.upper_bound(from);
+  while (t < to) {
+    const double rate = std::prev(it)->second;
+    const TimePoint segment_end =
+        (it == rates_.end()) ? to : std::min<TimePoint>(it->first, to);
+    if (std::isinf(rate)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    bits += rate * static_cast<double>(segment_end - t) / 1e6;
+    t = segment_end;
+    if (it != rates_.end() && segment_end == it->first) {
+      ++it;
+    }
+  }
+  return bits;
+}
+
+}  // namespace torsim

@@ -1,0 +1,127 @@
+#include "src/sim/shared_nic.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace torsim {
+namespace {
+
+// Bits below this threshold count as fully drained (guards float rounding).
+constexpr double kEpsilonBits = 1e-6;
+
+}  // namespace
+
+SharedNic::SharedNic(Simulator* sim, double initial_bits_per_sec)
+    : sim_(sim), schedule_(initial_bits_per_sec) {}
+
+double SharedNic::SharePerFlow(TimePoint from, TimePoint to, size_t k) const {
+  if (k == 0 || to <= from) {
+    return 0.0;
+  }
+  const double total = schedule_.CapacityDuring(from, to);
+  return total / static_cast<double>(k);
+}
+
+void SharedNic::Advance() {
+  const TimePoint now = sim_->now();
+  if (now <= last_update_ || flows_.empty()) {
+    last_update_ = std::max(last_update_, now);
+    return;
+  }
+  const double share = SharePerFlow(last_update_, now, flows_.size());
+  last_update_ = now;
+  std::vector<std::function<void()>> completed;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    it->remaining_bits -= share;
+    if (it->remaining_bits <= kEpsilonBits) {
+      completed.push_back(std::move(it->on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& fn : completed) {
+    fn();
+  }
+}
+
+void SharedNic::Reschedule() {
+  if (pending_event_ != kNoEvent) {
+    sim_->Cancel(pending_event_);
+    pending_event_ = kNoEvent;
+  }
+  if (flows_.empty()) {
+    return;
+  }
+  // Under processor sharing every flow drains equally, so the flow with the
+  // least remaining bits completes first. Integrate the schedule piecewise to
+  // find its completion instant, treating concurrency as fixed (any arrival or
+  // earlier completion triggers a fresh Reschedule).
+  double min_remaining = flows_.front().remaining_bits;
+  for (const auto& flow : flows_) {
+    min_remaining = std::min(min_remaining, flow.remaining_bits);
+  }
+  const size_t k = flows_.size();
+  TimePoint t = last_update_;
+  double remaining = min_remaining;
+  for (;;) {
+    const double rate = schedule_.RateAt(t);
+    const TimePoint boundary = schedule_.NextChangeAfter(t);
+    if (std::isinf(rate)) {
+      // Infinite rate: everything in flight completes instantly once the
+      // schedule reaches `t`. Completing explicitly avoids a zero-elapsed
+      // Advance() that would drain nothing.
+      pending_event_ = sim_->ScheduleAt(t, [this] {
+        pending_event_ = kNoEvent;
+        std::list<Flow> done;
+        done.swap(flows_);
+        last_update_ = sim_->now();
+        for (auto& flow : done) {
+          flow.on_complete();
+        }
+        Reschedule();
+      });
+      return;
+    }
+    const double per_flow_rate = rate / static_cast<double>(k);
+    if (per_flow_rate > 0.0) {
+      const double micros_needed = remaining / per_flow_rate * 1e6;
+      if (boundary == torbase::kTimeNever ||
+          micros_needed <= static_cast<double>(boundary - t)) {
+        const double finish = static_cast<double>(t) + micros_needed;
+        if (finish >= static_cast<double>(torbase::kTimeNever)) {
+          break;  // effectively never
+        }
+        // Fire at least 1 us ahead so Advance() always integrates a non-empty
+        // interval (sub-microsecond completions round up).
+        const TimePoint fire = std::max<TimePoint>(static_cast<TimePoint>(std::ceil(finish)),
+                                                   last_update_ + 1);
+        pending_event_ = sim_->ScheduleAt(fire, [this] {
+          pending_event_ = kNoEvent;
+          Advance();
+          Reschedule();
+        });
+        return;
+      }
+      remaining -= per_flow_rate * static_cast<double>(boundary - t) / 1e6;
+    }
+    if (boundary == torbase::kTimeNever) {
+      break;  // zero rate forever: flows are stuck
+    }
+    t = boundary;
+  }
+  // No completion is ever possible: the schedule ends at rate zero. Drop all
+  // flows (their bytes can never arrive) and account them.
+  dropped_ += flows_.size();
+  flows_.clear();
+}
+
+void SharedNic::StartTransfer(double bits, std::function<void()> on_complete) {
+  assert(bits >= 0.0);
+  Advance();
+  flows_.push_back(Flow{std::max(bits, kEpsilonBits), std::move(on_complete)});
+  Reschedule();
+}
+
+}  // namespace torsim

@@ -1,0 +1,83 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace torsim {
+
+EventId Simulator::ScheduleAt(TimePoint t, std::function<void()> fn) {
+  if (t < now_) {
+    t = now_;
+  }
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulator::ScheduleAfter(Duration delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::Cancel(EventId id) {
+  if (handlers_.count(id) > 0) {
+    cancelled_.insert(id);
+  }
+}
+
+bool Simulator::RunOne() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    auto cancelled_it = cancelled_.find(ev.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      handlers_.erase(ev.id);
+      continue;
+    }
+    auto handler_it = handlers_.find(ev.id);
+    assert(handler_it != handlers_.end());
+    std::function<void()> fn = std::move(handler_it->second);
+    handlers_.erase(handler_it);
+    assert(ev.time >= now_ && "event queue went backwards");
+    now_ = ev.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+size_t Simulator::Run(size_t limit) {
+  size_t executed = 0;
+  while (executed < limit && RunOne()) {
+    ++executed;
+  }
+  return executed;
+}
+
+size_t Simulator::RunUntil(TimePoint deadline) {
+  size_t executed = 0;
+  while (!queue_.empty()) {
+    // Skip cancelled events at the head so top() reflects a live event.
+    const Event ev = queue_.top();
+    if (cancelled_.count(ev.id) > 0) {
+      queue_.pop();
+      cancelled_.erase(ev.id);
+      handlers_.erase(ev.id);
+      continue;
+    }
+    if (ev.time > deadline) {
+      break;
+    }
+    if (RunOne()) {
+      ++executed;
+    }
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return executed;
+}
+
+}  // namespace torsim

@@ -1,0 +1,78 @@
+// Deterministic discrete-event simulator core: a virtual clock and an event
+// queue. Events scheduled for the same instant fire in schedule order, which
+// makes every run reproducible.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace torsim {
+
+using torbase::Duration;
+using torbase::TimePoint;
+
+using EventId = uint64_t;
+constexpr EventId kNoEvent = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  // Schedules `fn` to run at absolute virtual time `t` (clamped to now()).
+  EventId ScheduleAt(TimePoint t, std::function<void()> fn);
+  // Schedules `fn` to run `delay` after now().
+  EventId ScheduleAfter(Duration delay, std::function<void()> fn);
+
+  // Cancels a pending event. Cancelling an already-fired or unknown event is a
+  // no-op.
+  void Cancel(EventId id);
+
+  // Runs events until the queue empties or `limit` events fired. Returns the
+  // number of events executed.
+  size_t Run(size_t limit = ~size_t(0));
+
+  // Runs all events with time <= deadline; afterwards now() == max(now, deadline)
+  // if the queue drained up to it. Returns events executed.
+  size_t RunUntil(TimePoint deadline);
+
+  // Executes the single next event, if any. Returns whether one fired.
+  bool RunOne();
+
+  size_t pending_count() const { return queue_.size() - cancelled_.size(); }
+  uint64_t executed_count() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint time;
+    EventId id;
+    // Min-heap by (time, id): later entries compare greater.
+    bool operator>(const Event& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return id > other.id;
+    }
+  };
+
+  TimePoint now_ = 0;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace torsim
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,202 @@
+#include "src/tordir/aggregate.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "src/common/stats.h"
+
+namespace tordir {
+namespace {
+
+// A relay as listed by one vote, tagged with the voting authority.
+struct Listing {
+  torbase::NodeId authority;
+  const RelayStatus* status;
+};
+
+// Picks the most frequent value from (value, authority) pairs; ties are broken
+// by `prefer_larger` over the value ordering supplied by `less`.
+template <typename T, typename Less>
+T PopularVote(std::vector<std::pair<T, torbase::NodeId>> entries, Less less) {
+  std::map<T, size_t, Less> counts(less);
+  for (const auto& [value, authority] : entries) {
+    counts[value] += 1;
+  }
+  size_t best_count = 0;
+  for (const auto& [value, count] : counts) {
+    best_count = std::max(best_count, count);
+  }
+  // std::map iterates in ascending order, so taking the last maximal entry
+  // yields the largest value among the tied ones.
+  T best{};
+  for (const auto& [value, count] : counts) {
+    if (count == best_count) {
+      best = value;
+    }
+  }
+  return best;
+}
+
+RelayStatus AggregateRelay(const std::vector<Listing>& listings) {
+  RelayStatus out;
+  out.fingerprint = listings.front().status->fingerprint;
+
+  // Nickname: from the listing vote with the largest authority ID (Fig. 2).
+  {
+    const Listing* best = &listings.front();
+    for (const auto& listing : listings) {
+      if (listing.authority > best->authority) {
+        best = &listing;
+      }
+    }
+    out.nickname = best->status->nickname;
+  }
+
+  // Flags: per-flag strict majority among listing votes; ties unset.
+  const size_t listing_count = listings.size();
+  for (RelayFlag flag : kRelayFlagOrder) {
+    size_t set_count = 0;
+    for (const auto& listing : listings) {
+      if (listing.status->HasFlag(flag)) {
+        ++set_count;
+      }
+    }
+    out.SetFlag(flag, 2 * set_count > listing_count);
+  }
+
+  // Version: popular vote, tie -> largest version.
+  {
+    std::vector<std::pair<std::string, torbase::NodeId>> entries;
+    for (const auto& listing : listings) {
+      entries.emplace_back(listing.status->version, listing.authority);
+    }
+    out.version = PopularVote(std::move(entries), [](const std::string& a, const std::string& b) {
+      return CompareVersions(a, b) < 0;
+    });
+  }
+
+  // Protocols: popular vote, tie -> largest by version-aware comparison.
+  {
+    std::vector<std::pair<std::string, torbase::NodeId>> entries;
+    for (const auto& listing : listings) {
+      entries.emplace_back(listing.status->protocols, listing.authority);
+    }
+    out.protocols = PopularVote(std::move(entries), [](const std::string& a, const std::string& b) {
+      return CompareVersions(a, b) < 0;
+    });
+  }
+
+  // Exit policy: popular vote, tie -> lexicographically larger.
+  {
+    std::vector<std::pair<std::string, torbase::NodeId>> entries;
+    for (const auto& listing : listings) {
+      entries.emplace_back(listing.status->exit_policy, listing.authority);
+    }
+    out.exit_policy = PopularVote(std::move(entries), std::less<std::string>());
+  }
+
+  // Bandwidth: median of Measured values where present, else of claimed.
+  {
+    std::vector<uint64_t> measured;
+    std::vector<uint64_t> claimed;
+    for (const auto& listing : listings) {
+      claimed.push_back(listing.status->bandwidth);
+      if (listing.status->measured.has_value()) {
+        measured.push_back(*listing.status->measured);
+      }
+    }
+    out.bandwidth =
+        torbase::MedianLow(measured.empty() ? std::move(claimed) : std::move(measured));
+    out.measured.reset();
+  }
+
+  // Endpoint tuple (address, ports, published, microdesc digest): popular vote
+  // over the whole tuple; tie -> value from the largest authority ID.
+  {
+    using Endpoint = std::tuple<std::string, uint16_t, uint16_t, uint64_t,
+                                std::array<uint8_t, 32>>;
+    std::map<Endpoint, std::pair<size_t, torbase::NodeId>> counts;
+    for (const auto& listing : listings) {
+      const RelayStatus& s = *listing.status;
+      Endpoint key{s.address, s.or_port, s.dir_port, s.published, s.microdesc_digest};
+      auto& entry = counts[key];
+      entry.first += 1;
+      entry.second = std::max(entry.second, listing.authority);
+    }
+    const Endpoint* best = nullptr;
+    size_t best_count = 0;
+    torbase::NodeId best_auth = 0;
+    for (const auto& [key, entry] : counts) {
+      if (entry.first > best_count ||
+          (entry.first == best_count && entry.second > best_auth)) {
+        best = &key;
+        best_count = entry.first;
+        best_auth = entry.second;
+      }
+    }
+    out.address = std::get<0>(*best);
+    out.or_port = std::get<1>(*best);
+    out.dir_port = std::get<2>(*best);
+    out.published = std::get<3>(*best);
+    out.microdesc_digest = std::get<4>(*best);
+  }
+
+  return out;
+}
+
+}  // namespace
+
+ConsensusDocument ComputeConsensus(const std::vector<const VoteDocument*>& votes,
+                                   const AggregationParams& params) {
+  ConsensusDocument consensus;
+  consensus.vote_count = static_cast<uint32_t>(votes.size());
+  if (votes.empty()) {
+    return consensus;
+  }
+
+  // Schedule metadata: medians across votes, robust against outlier clocks.
+  {
+    std::vector<uint64_t> va;
+    std::vector<uint64_t> fu;
+    std::vector<uint64_t> vu;
+    for (const auto* vote : votes) {
+      va.push_back(vote->valid_after);
+      fu.push_back(vote->fresh_until);
+      vu.push_back(vote->valid_until);
+    }
+    consensus.valid_after = torbase::MedianLow(std::move(va));
+    consensus.fresh_until = torbase::MedianLow(std::move(fu));
+    consensus.valid_until = torbase::MedianLow(std::move(vu));
+  }
+
+  // Group listings by fingerprint. Votes are sorted by fingerprint already,
+  // but the map makes the result provably order-independent.
+  std::map<Fingerprint, std::vector<Listing>> by_relay;
+  for (const auto* vote : votes) {
+    for (const auto& relay : vote->relays) {
+      by_relay[relay.fingerprint].push_back(Listing{vote->authority, &relay});
+    }
+  }
+
+  const size_t threshold = params.InclusionThreshold(votes.size());
+  for (const auto& [fingerprint, listings] : by_relay) {
+    if (listings.size() >= threshold) {
+      consensus.relays.push_back(AggregateRelay(listings));
+    }
+  }
+  // std::map iteration is already fingerprint-ordered.
+  return consensus;
+}
+
+ConsensusDocument ComputeConsensus(const std::vector<VoteDocument>& votes,
+                                   const AggregationParams& params) {
+  std::vector<const VoteDocument*> ptrs;
+  ptrs.reserve(votes.size());
+  for (const auto& vote : votes) {
+    ptrs.push_back(&vote);
+  }
+  return ComputeConsensus(ptrs, params);
+}
+
+}  // namespace tordir

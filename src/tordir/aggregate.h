@@ -1,0 +1,56 @@
+// The consensus aggregation algorithm (Figure 2 of the paper / dir-spec §3.8):
+// given the set of votes an authority holds, deterministically compute the
+// consensus relay list. Every protocol in this repository — Current,
+// Synchronous and the ICPS protocol — funnels its agreed vote set through this
+// single implementation, mirroring how all real implementations share Tor's
+// aggregation code.
+//
+// Rules implemented (Fig. 2):
+//   * A relay is included iff it appears in at least `inclusion_threshold`
+//     votes (default: strictly more than half of the votes aggregated).
+//   * Its nickname is taken from the listing vote with the largest authority ID.
+//   * Each flag is set by popular vote among listing votes; ties mean unset.
+//   * Version / protocols: popular vote, ties broken towards the largest value
+//     (CompareVersions order).
+//   * Exit policy: popular vote, ties broken towards the lexicographically
+//     larger summary.
+//   * Bandwidth: median of the Measured values from votes that measured the
+//     relay; if no vote measured it, median of the claimed bandwidths.
+//   * Address/ports/published/microdesc digest: popular vote over the full
+//     endpoint tuple, ties broken towards the largest authority ID.
+#ifndef SRC_TORDIR_AGGREGATE_H_
+#define SRC_TORDIR_AGGREGATE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/tordir/vote.h"
+
+namespace tordir {
+
+struct AggregationParams {
+  // Number of listing votes required for inclusion, as a function of how many
+  // votes are being aggregated. 0 = default majority rule floor(n/2)+1.
+  size_t fixed_inclusion_threshold = 0;
+
+  size_t InclusionThreshold(size_t vote_count) const {
+    if (fixed_inclusion_threshold > 0) {
+      return fixed_inclusion_threshold;
+    }
+    return vote_count / 2 + 1;
+  }
+};
+
+// Aggregates `votes` into a consensus document. Votes must come from distinct
+// authorities; the result is independent of input order (tested). The
+// consensus is unsigned; callers collect signatures separately.
+ConsensusDocument ComputeConsensus(const std::vector<const VoteDocument*>& votes,
+                                   const AggregationParams& params = {});
+
+// Convenience overload for owned votes.
+ConsensusDocument ComputeConsensus(const std::vector<VoteDocument>& votes,
+                                   const AggregationParams& params = {});
+
+}  // namespace tordir
+
+#endif  // SRC_TORDIR_AGGREGATE_H_

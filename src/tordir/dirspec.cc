@@ -1,0 +1,409 @@
+#include "src/tordir/dirspec.h"
+
+#include <charconv>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace tordir {
+namespace {
+
+using torbase::Result;
+using torbase::Status;
+
+void AppendRelay(std::string& out, const RelayStatus& relay, bool include_measured) {
+  out += "r ";
+  out += relay.nickname;
+  out += ' ';
+  out += FingerprintHex(relay.fingerprint);
+  out += ' ';
+  // Descriptor digest stand-in: first 8 bytes of the microdesc digest. Real
+  // entries carry a base64 digest of similar width.
+  out += torbase::HexEncode(
+      std::span<const uint8_t>(relay.microdesc_digest.data(), 8));
+  out += ' ';
+  out += relay.address;
+  out += ' ';
+  out += std::to_string(relay.or_port);
+  out += ' ';
+  out += std::to_string(relay.dir_port);
+  out += ' ';
+  out += std::to_string(relay.published);
+  out += '\n';
+
+  out += "s ";
+  out += FlagsToString(relay.flags);
+  out += '\n';
+
+  if (!relay.version.empty()) {
+    out += "v ";
+    out += relay.version;
+    out += '\n';
+  }
+  if (!relay.protocols.empty()) {
+    out += "pr ";
+    out += relay.protocols;
+    out += '\n';
+  }
+
+  out += "w Bandwidth=";
+  out += std::to_string(relay.bandwidth);
+  if (include_measured && relay.measured.has_value()) {
+    out += " Measured=";
+    out += std::to_string(*relay.measured);
+  }
+  out += '\n';
+
+  out += "p ";
+  out += relay.exit_policy;
+  out += '\n';
+
+  out += "m ";
+  out += torbase::HexEncode(relay.microdesc_digest);
+  out += '\n';
+}
+
+// The parsers below work on string_views into the original document text:
+// votes are multi-megabyte and get parsed on every delivery, so avoiding
+// per-line string copies matters for the bench harness.
+std::vector<std::string_view> SplitWords(std::string_view line) {
+  std::vector<std::string_view> words;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') {
+      ++i;
+    }
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ') {
+      ++i;
+    }
+    if (i > start) {
+      words.push_back(line.substr(start, i - start));
+    }
+  }
+  return words;
+}
+
+Result<uint64_t> ParseU64(std::string_view word) {
+  uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(word.data(), word.data() + word.size(), value);
+  if (ec != std::errc() || ptr != word.data() + word.size()) {
+    return Status::InvalidArgument("bad integer: " + std::string(word));
+  }
+  return value;
+}
+
+bool StartsWith(std::string_view line, std::string_view prefix) {
+  return line.substr(0, prefix.size()) == prefix;
+}
+
+// Shared relay-entry parser for votes and consensuses. `lines` is consumed from
+// `idx`; the caller detected the leading "r " line.
+Status ParseRelayEntry(const std::vector<std::string_view>& lines, size_t& idx,
+                       RelayStatus& relay) {
+  {
+    const auto words = SplitWords(lines[idx]);
+    if (words.size() != 8 || words[0] != "r") {
+      return Status::InvalidArgument("malformed r line: " + std::string(lines[idx]));
+    }
+    relay.nickname = std::string(words[1]);
+    auto fp = FingerprintFromHex(std::string(words[2]));
+    if (!fp.has_value()) {
+      return Status::InvalidArgument("bad fingerprint: " + std::string(words[2]));
+    }
+    relay.fingerprint = *fp;
+    // words[3] is the descriptor digest prefix; re-derived from the m line.
+    relay.address = std::string(words[4]);
+    auto orp = ParseU64(words[5]);
+    auto dirp = ParseU64(words[6]);
+    auto pub = ParseU64(words[7]);
+    if (!orp.ok() || !dirp.ok() || !pub.ok()) {
+      return Status::InvalidArgument("bad numeric field in r line");
+    }
+    relay.or_port = static_cast<uint16_t>(*orp);
+    relay.dir_port = static_cast<uint16_t>(*dirp);
+    relay.published = *pub;
+    ++idx;
+  }
+  while (idx < lines.size()) {
+    const std::string_view line = lines[idx];
+    if (StartsWith(line, "s ") || line == "s") {
+      relay.flags = 0;
+      for (const auto word : SplitWords(line.substr(1))) {
+        auto flag = RelayFlagFromName(std::string(word));
+        if (!flag.has_value()) {
+          return Status::InvalidArgument("unknown flag: " + std::string(word));
+        }
+        relay.SetFlag(*flag, true);
+      }
+    } else if (StartsWith(line, "v ")) {
+      relay.version = std::string(line.substr(2));
+    } else if (StartsWith(line, "pr ")) {
+      relay.protocols = std::string(line.substr(3));
+    } else if (StartsWith(line, "w ")) {
+      for (const auto word : SplitWords(line.substr(2))) {
+        if (StartsWith(word, "Bandwidth=")) {
+          auto v = ParseU64(word.substr(10));
+          if (!v.ok()) {
+            return Status::InvalidArgument("bad Bandwidth value");
+          }
+          relay.bandwidth = *v;
+        } else if (StartsWith(word, "Measured=")) {
+          auto v = ParseU64(word.substr(9));
+          if (!v.ok()) {
+            return Status::InvalidArgument("bad Measured value");
+          }
+          relay.measured = *v;
+        }
+      }
+    } else if (StartsWith(line, "p ")) {
+      relay.exit_policy = std::string(line.substr(2));
+    } else if (StartsWith(line, "m ")) {
+      auto decoded = torbase::HexDecode(line.substr(2));
+      if (!decoded.has_value() || decoded->size() != 32) {
+        return Status::InvalidArgument("bad microdesc digest");
+      }
+      std::copy(decoded->begin(), decoded->end(), relay.microdesc_digest.begin());
+    } else {
+      break;  // next entry or footer
+    }
+    ++idx;
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string_view> SplitLines(const std::string& text) {
+  std::vector<std::string_view> lines;
+  const std::string_view view(text);
+  size_t start = 0;
+  while (start <= view.size()) {
+    size_t end = view.find('\n', start);
+    if (end == std::string_view::npos) {
+      if (start < view.size()) {
+        lines.push_back(view.substr(start));
+      }
+      break;
+    }
+    lines.push_back(view.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string SerializeVote(const VoteDocument& vote) {
+  std::string out;
+  out.reserve(128 + vote.relays.size() * 480);
+  out += "network-status-version 3 vote\n";
+  out += "authority " + vote.authority_nickname + " " + std::to_string(vote.authority) + "\n";
+  out += "valid-after " + std::to_string(vote.valid_after) + "\n";
+  out += "fresh-until " + std::to_string(vote.fresh_until) + "\n";
+  out += "valid-until " + std::to_string(vote.valid_until) + "\n";
+  out += "known-flags Authority BadExit Exit Fast Guard HSDir Running Stable V2Dir Valid\n";
+  for (const auto& relay : vote.relays) {
+    AppendRelay(out, relay, /*include_measured=*/true);
+  }
+  out += "directory-footer\n";
+  return out;
+}
+
+Result<VoteDocument> ParseVote(const std::string& text) {
+  const auto lines = SplitLines(text);
+  VoteDocument vote;
+  size_t idx = 0;
+  if (idx >= lines.size() || lines[idx] != "network-status-version 3 vote") {
+    return Status::InvalidArgument("not a v3 vote document");
+  }
+  ++idx;
+  bool saw_footer = false;
+  while (idx < lines.size()) {
+    const std::string_view line = lines[idx];
+    if (line.rfind("authority ", 0) == 0) {
+      const auto words = SplitWords(line);
+      if (words.size() != 3) {
+        return Status::InvalidArgument("malformed authority line");
+      }
+      vote.authority_nickname = words[1];
+      auto id = ParseU64(words[2]);
+      if (!id.ok()) {
+        return Status::InvalidArgument("bad authority id");
+      }
+      vote.authority = static_cast<torbase::NodeId>(*id);
+      ++idx;
+    } else if (line.rfind("valid-after ", 0) == 0) {
+      auto v = ParseU64(line.substr(12));
+      if (!v.ok()) {
+        return v.status();
+      }
+      vote.valid_after = *v;
+      ++idx;
+    } else if (line.rfind("fresh-until ", 0) == 0) {
+      auto v = ParseU64(line.substr(12));
+      if (!v.ok()) {
+        return v.status();
+      }
+      vote.fresh_until = *v;
+      ++idx;
+    } else if (line.rfind("valid-until ", 0) == 0) {
+      auto v = ParseU64(line.substr(12));
+      if (!v.ok()) {
+        return v.status();
+      }
+      vote.valid_until = *v;
+      ++idx;
+    } else if (line.rfind("known-flags", 0) == 0) {
+      ++idx;
+    } else if (line.rfind("r ", 0) == 0) {
+      RelayStatus relay;
+      if (Status s = ParseRelayEntry(lines, idx, relay); !s.ok()) {
+        return s;
+      }
+      vote.relays.push_back(std::move(relay));
+    } else if (line == "directory-footer") {
+      saw_footer = true;
+      ++idx;
+      break;
+    } else if (line.empty()) {
+      ++idx;
+    } else {
+      return Status::InvalidArgument("unexpected line: " + std::string(line));
+    }
+  }
+  if (!saw_footer) {
+    return Status::InvalidArgument("missing directory-footer");
+  }
+  return vote;
+}
+
+torcrypto::Digest256 VoteDigest(const VoteDocument& vote) {
+  return torcrypto::Digest256::Of(SerializeVote(vote));
+}
+
+std::string SerializeConsensusUnsigned(const ConsensusDocument& consensus) {
+  std::string out;
+  out.reserve(128 + consensus.relays.size() * 480);
+  out += "network-status-version 3\n";
+  out += "vote-status consensus\n";
+  out += "votes-counted " + std::to_string(consensus.vote_count) + "\n";
+  out += "valid-after " + std::to_string(consensus.valid_after) + "\n";
+  out += "fresh-until " + std::to_string(consensus.fresh_until) + "\n";
+  out += "valid-until " + std::to_string(consensus.valid_until) + "\n";
+  for (const auto& relay : consensus.relays) {
+    // Consensus bandwidth is the aggregated value in `bandwidth`; no Measured.
+    AppendRelay(out, relay, /*include_measured=*/false);
+  }
+  out += "directory-footer\n";
+  return out;
+}
+
+std::string SerializeConsensus(const ConsensusDocument& consensus) {
+  std::string out = SerializeConsensusUnsigned(consensus);
+  for (const auto& sig : consensus.signatures) {
+    out += "directory-signature " + std::to_string(sig.signer) + " " + sig.ToHex() + "\n";
+  }
+  return out;
+}
+
+Result<ConsensusDocument> ParseConsensus(const std::string& text) {
+  const auto lines = SplitLines(text);
+  ConsensusDocument consensus;
+  size_t idx = 0;
+  if (idx >= lines.size() || lines[idx] != "network-status-version 3") {
+    return Status::InvalidArgument("not a v3 consensus document");
+  }
+  ++idx;
+  bool saw_footer = false;
+  while (idx < lines.size()) {
+    const std::string_view line = lines[idx];
+    if (line == "vote-status consensus") {
+      ++idx;
+    } else if (line.rfind("votes-counted ", 0) == 0) {
+      auto v = ParseU64(line.substr(14));
+      if (!v.ok()) {
+        return v.status();
+      }
+      consensus.vote_count = static_cast<uint32_t>(*v);
+      ++idx;
+    } else if (line.rfind("valid-after ", 0) == 0) {
+      auto v = ParseU64(line.substr(12));
+      if (!v.ok()) {
+        return v.status();
+      }
+      consensus.valid_after = *v;
+      ++idx;
+    } else if (line.rfind("fresh-until ", 0) == 0) {
+      auto v = ParseU64(line.substr(12));
+      if (!v.ok()) {
+        return v.status();
+      }
+      consensus.fresh_until = *v;
+      ++idx;
+    } else if (line.rfind("valid-until ", 0) == 0) {
+      auto v = ParseU64(line.substr(12));
+      if (!v.ok()) {
+        return v.status();
+      }
+      consensus.valid_until = *v;
+      ++idx;
+    } else if (line.rfind("r ", 0) == 0) {
+      RelayStatus relay;
+      if (Status s = ParseRelayEntry(lines, idx, relay); !s.ok()) {
+        return s;
+      }
+      consensus.relays.push_back(std::move(relay));
+    } else if (line == "directory-footer") {
+      saw_footer = true;
+      ++idx;
+      // Signature lines follow the footer.
+      while (idx < lines.size()) {
+        const std::string_view sig_line = lines[idx];
+        if (sig_line.empty()) {
+          ++idx;
+          continue;
+        }
+        if (sig_line.rfind("directory-signature ", 0) != 0) {
+          return Status::InvalidArgument("unexpected line after footer: " + std::string(sig_line));
+        }
+        const auto words = SplitWords(sig_line);
+        if (words.size() != 3) {
+          return Status::InvalidArgument("malformed directory-signature line");
+        }
+        auto signer = ParseU64(words[1]);
+        auto bytes = torbase::HexDecode(words[2]);
+        if (!signer.ok() || !bytes.has_value() || bytes->size() != 64) {
+          return Status::InvalidArgument("bad signature encoding");
+        }
+        torcrypto::Signature sig;
+        sig.signer = static_cast<torbase::NodeId>(*signer);
+        std::copy(bytes->begin(), bytes->end(), sig.bytes.begin());
+        consensus.signatures.push_back(sig);
+        ++idx;
+      }
+      break;
+    } else if (line.empty()) {
+      ++idx;
+    } else {
+      return Status::InvalidArgument("unexpected line: " + std::string(line));
+    }
+  }
+  if (!saw_footer) {
+    return Status::InvalidArgument("missing directory-footer");
+  }
+  return consensus;
+}
+
+torcrypto::Digest256 ConsensusDigest(const ConsensusDocument& consensus) {
+  return torcrypto::Digest256::Of(SerializeConsensusUnsigned(consensus));
+}
+
+size_t EstimateVoteSizeBytes(size_t relay_count) {
+  // Matches the serialization above: ~100 B "r" + ~40 B "s" + ~16 B "v" +
+  // ~120 B "pr" + ~35 B "w" + ~25 B "p" + ~67 B "m" per relay, plus a small
+  // header/footer.
+  return 170 + relay_count * 470;
+}
+
+}  // namespace tordir

@@ -1,0 +1,53 @@
+// Text serialization of votes and consensus documents in the dir-spec v3 style.
+//
+// The wire size of these documents is what drives every bandwidth experiment in
+// the paper (a vote is a few hundred bytes per relay), so the format keeps the
+// realistic per-relay line structure:
+//
+//   r <nickname> <FP-40-hex> <digest-16-hex> <address> <orport> <dirport> <published>
+//   s <flags...>
+//   v <version>
+//   pr <protocol versions>
+//   w Bandwidth=<n> [Measured=<n>]
+//   p <exit policy summary>
+//   m <sha256-hex microdescriptor digest>
+//
+// Parsing returns Status errors for malformed input; Serialize/Parse round-trip
+// exactly (tested in tests/tordir_test.cc).
+#ifndef SRC_TORDIR_DIRSPEC_H_
+#define SRC_TORDIR_DIRSPEC_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/crypto/digest.h"
+#include "src/tordir/vote.h"
+
+namespace tordir {
+
+// --- votes ----------------------------------------------------------------
+std::string SerializeVote(const VoteDocument& vote);
+torbase::Result<VoteDocument> ParseVote(const std::string& text);
+
+// Digest of the serialized vote; this is the "h_i" the dissemination
+// sub-protocol signs and agrees on.
+torcrypto::Digest256 VoteDigest(const VoteDocument& vote);
+
+// --- consensus ------------------------------------------------------------
+// Serializes without the signature lines; this is the byte string authorities
+// sign.
+std::string SerializeConsensusUnsigned(const ConsensusDocument& consensus);
+// Serializes including "directory-signature" lines.
+std::string SerializeConsensus(const ConsensusDocument& consensus);
+torbase::Result<ConsensusDocument> ParseConsensus(const std::string& text);
+
+// Digest of the unsigned consensus body (what signatures cover).
+torcrypto::Digest256 ConsensusDigest(const ConsensusDocument& consensus);
+
+// Approximate serialized vote size in bytes for `relay_count` relays, without
+// building the document. Used by benches for analytic sanity checks.
+size_t EstimateVoteSizeBytes(size_t relay_count);
+
+}  // namespace tordir
+
+#endif  // SRC_TORDIR_DIRSPEC_H_

@@ -1,0 +1,186 @@
+#include "src/tordir/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/serialize.h"
+#include "src/crypto/sha256.h"
+
+namespace tordir {
+namespace {
+
+const char* const kVersionPool[] = {
+    "Tor 0.4.8.10",
+    "Tor 0.4.8.9",
+    "Tor 0.4.8.12",
+    "Tor 0.4.7.16",
+};
+
+const char* const kProtocolPool[] = {
+    "Cons=1-2 Desc=1-2 DirCache=2 FlowCtrl=1-2 HSDir=2 HSIntro=4-5 HSRend=1-2 Link=1-5 "
+    "LinkAuth=1,3 Microdesc=1-2 Padding=2 Relay=1-4",
+    "Cons=1-2 Desc=1-2 DirCache=2 FlowCtrl=1 HSDir=2 HSIntro=4-5 HSRend=1-2 Link=1-5 "
+    "LinkAuth=3 Microdesc=1-2 Padding=2 Relay=1-3",
+};
+
+const char* const kExitPolicyPool[] = {
+    "accept 80,443",
+    "accept 20-23,43,53,79-81,88,110,143,194,220,389,443",
+    "accept 443,6667",
+};
+
+Fingerprint DeriveFingerprint(uint64_t seed, uint64_t index) {
+  torbase::Writer w;
+  w.WriteU64(seed);
+  w.WriteU64(index);
+  w.WriteString("relay-fingerprint");
+  const auto digest = torcrypto::Sha256Digest(w.buffer());
+  Fingerprint fp;
+  std::copy(digest.begin(), digest.begin() + 20, fp.begin());
+  return fp;
+}
+
+std::array<uint8_t, 32> DeriveMicrodescDigest(const Fingerprint& fp) {
+  torbase::Writer w;
+  w.WriteRaw(fp);
+  w.WriteString("microdesc");
+  return torcrypto::Sha256Digest(w.buffer());
+}
+
+}  // namespace
+
+std::vector<RelayStatus> GeneratePopulation(const PopulationConfig& config) {
+  torbase::Rng rng(config.seed ^ 0x7052656c61795067ull);  // "pRelayPg"
+  std::vector<RelayStatus> relays;
+  relays.reserve(config.relay_count);
+  for (size_t i = 0; i < config.relay_count; ++i) {
+    RelayStatus relay;
+    relay.fingerprint = DeriveFingerprint(config.seed, i);
+    relay.microdesc_digest = DeriveMicrodescDigest(relay.fingerprint);
+    relay.nickname = "relay" + rng.AlphaNumeric(10);
+
+    char addr[20];
+    std::snprintf(addr, sizeof(addr), "%u.%u.%u.%u",
+                  static_cast<unsigned>(rng.UniformRange(1, 223)),
+                  static_cast<unsigned>(rng.UniformRange(0, 254)),
+                  static_cast<unsigned>(rng.UniformRange(0, 254)),
+                  static_cast<unsigned>(rng.UniformRange(1, 254)));
+    relay.address = addr;
+    relay.or_port = rng.Bernoulli(0.7) ? 9001 : static_cast<uint16_t>(rng.UniformRange(443, 9999));
+    relay.dir_port = rng.Bernoulli(0.4) ? 9030 : 0;
+    relay.published = config.base_time - rng.UniformRange(0, 18 * 3600);
+
+    relay.SetFlag(RelayFlag::kRunning, true);
+    relay.SetFlag(RelayFlag::kValid, true);
+    relay.SetFlag(RelayFlag::kFast, rng.Bernoulli(config.p_fast));
+    relay.SetFlag(RelayFlag::kStable, rng.Bernoulli(config.p_stable));
+    relay.SetFlag(RelayFlag::kGuard, rng.Bernoulli(config.p_guard));
+    const bool is_exit = rng.Bernoulli(config.p_exit);
+    relay.SetFlag(RelayFlag::kExit, is_exit);
+    relay.SetFlag(RelayFlag::kHSDir, rng.Bernoulli(config.p_hsdir));
+    relay.SetFlag(RelayFlag::kV2Dir, rng.Bernoulli(config.p_v2dir));
+    relay.SetFlag(RelayFlag::kBadExit, is_exit && rng.Bernoulli(config.p_bad_exit));
+
+    relay.version = kVersionPool[rng.UniformU64(std::size(kVersionPool))];
+    relay.protocols = kProtocolPool[rng.UniformU64(std::size(kProtocolPool))];
+    relay.exit_policy =
+        is_exit ? kExitPolicyPool[rng.UniformU64(std::size(kExitPolicyPool))] : "reject 1-65535";
+
+    // Log-normal-ish bandwidth distribution (KB/s), clamped to a live-network
+    // plausible range.
+    const double log_bw = rng.Normal(8.0, 1.2);  // e^8 ~ 3000 KB/s
+    relay.bandwidth =
+        static_cast<uint64_t>(std::clamp(std::exp(log_bw), 20.0, 400000.0));
+    relays.push_back(std::move(relay));
+  }
+  std::sort(relays.begin(), relays.end(), RelayOrder);
+  return relays;
+}
+
+VoteDocument MakeVote(torbase::NodeId authority, uint32_t authority_count,
+                      const std::vector<RelayStatus>& population,
+                      const PopulationConfig& population_config,
+                      const VoteViewConfig& view_config) {
+  torbase::Rng rng(population_config.seed * 1000003 + authority);
+  VoteDocument vote;
+  vote.authority = authority;
+  vote.authority_nickname = "auth" + std::to_string(authority);
+  vote.valid_after = population_config.base_time;
+  vote.fresh_until = population_config.base_time + 3600;       // stale after 1 h
+  vote.valid_until = population_config.base_time + 3 * 3600;   // invalid after 3 h
+
+  const uint32_t measuring_count = static_cast<uint32_t>(
+      std::ceil(view_config.measuring_fraction * authority_count));
+  const bool measures = authority < measuring_count;
+
+  vote.relays.reserve(population.size());
+  for (const auto& relay : population) {
+    if (rng.Bernoulli(view_config.p_missing)) {
+      continue;
+    }
+    RelayStatus view = relay;
+    for (RelayFlag flag :
+         {RelayFlag::kFast, RelayFlag::kStable, RelayFlag::kGuard, RelayFlag::kHSDir}) {
+      if (rng.Bernoulli(view_config.p_flag_flip)) {
+        view.SetFlag(flag, !view.HasFlag(flag));
+      }
+    }
+    if (measures) {
+      const double noisy = static_cast<double>(relay.bandwidth) *
+                           (1.0 + rng.Normal(0.0, view_config.measurement_noise));
+      view.measured = static_cast<uint64_t>(std::max(1.0, noisy));
+    }
+    vote.relays.push_back(std::move(view));
+  }
+  // Population is sorted; dropping entries preserves order.
+  return vote;
+}
+
+std::vector<VoteDocument> MakeAllVotes(uint32_t authority_count,
+                                       const std::vector<RelayStatus>& population,
+                                       const PopulationConfig& population_config,
+                                       const VoteViewConfig& view_config) {
+  std::vector<VoteDocument> votes;
+  votes.reserve(authority_count);
+  for (uint32_t a = 0; a < authority_count; ++a) {
+    votes.push_back(MakeVote(a, authority_count, population, population_config, view_config));
+  }
+  return votes;
+}
+
+std::vector<RelayCountPoint> RelayCountSeries() {
+  // 26 monthly points, September 2022 .. October 2024: a gentle upward trend
+  // with a seasonal swing and deterministic jitter, renormalized so the mean
+  // equals the paper's reported 7141.79.
+  constexpr int kMonths = 26;
+  torbase::Rng rng(20220901);
+  std::vector<double> raw(kMonths);
+  double mean = 0.0;
+  for (int i = 0; i < kMonths; ++i) {
+    const double trend = 6500.0 + 40.0 * i;
+    const double seasonal = 600.0 * std::sin(2.0 * M_PI * i / 12.0 + 0.8);
+    const double jitter = rng.Normal(0.0, 220.0);
+    raw[i] = trend + seasonal + jitter;
+    mean += raw[i];
+  }
+  mean /= kMonths;
+
+  std::vector<RelayCountPoint> series(kMonths);
+  int year = 2022;
+  int month = 9;
+  for (int i = 0; i < kMonths; ++i) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%04u-%02u", static_cast<unsigned>(year),
+                  static_cast<unsigned>(month));
+    series[i].month = buf;
+    series[i].relay_count = raw[i] - mean + kPaperAverageRelayCount;
+    if (++month == 13) {
+      month = 1;
+      ++year;
+    }
+  }
+  return series;
+}
+
+}  // namespace tordir

@@ -1,0 +1,98 @@
+#include "src/tordir/health_monitor.h"
+
+namespace tordir {
+
+const char* HealthAlertName(HealthAlertKind kind) {
+  switch (kind) {
+    case HealthAlertKind::kMissingVotes:
+      return "missing-votes";
+    case HealthAlertKind::kVoteEquivocation:
+      return "vote-equivocation";
+    case HealthAlertKind::kConsensusFork:
+      return "consensus-fork";
+    case HealthAlertKind::kNoConsensus:
+      return "no-consensus";
+  }
+  return "?";
+}
+
+void HealthMonitor::RecordVote(torbase::NodeId observer, torbase::NodeId sender,
+                               const torcrypto::Digest256& digest) {
+  vote_digests_[sender].insert(digest);
+  received_from_[observer].insert(sender);
+}
+
+void HealthMonitor::RecordConsensus(torbase::NodeId authority,
+                                    std::optional<torcrypto::Digest256> digest) {
+  consensus_[authority] = std::move(digest);
+}
+
+std::vector<HealthAlert> HealthMonitor::Analyze() const {
+  std::vector<HealthAlert> alerts;
+
+  // Vote equivocation: one sender, several digests.
+  for (const auto& [sender, digests] : vote_digests_) {
+    if (digests.size() > 1) {
+      alerts.push_back(HealthAlert{
+          HealthAlertKind::kVoteEquivocation,
+          {sender},
+          "authority " + std::to_string(sender) + " published " +
+              std::to_string(digests.size()) + " distinct votes"});
+    }
+  }
+
+  // Missing votes: count, per sender, how many observers never saw its vote.
+  // Only meaningful once at least one observation was recorded (otherwise an
+  // idle monitor would flag every authority).
+  std::vector<torbase::NodeId> widely_missing;
+  if (!received_from_.empty()) {
+    for (torbase::NodeId sender = 0; sender < authority_count_; ++sender) {
+      uint32_t missing_at = 0;
+      for (torbase::NodeId observer = 0; observer < authority_count_; ++observer) {
+        if (observer == sender) {
+          continue;
+        }
+        auto it = received_from_.find(observer);
+        if (it == received_from_.end() || it->second.count(sender) == 0) {
+          ++missing_at;
+        }
+      }
+      // Missing at a majority of the other authorities: the DDoS signature.
+      if (missing_at >= (authority_count_ - 1) / 2 + 1) {
+        widely_missing.push_back(sender);
+      }
+    }
+  }
+  if (!widely_missing.empty()) {
+    alerts.push_back(HealthAlert{HealthAlertKind::kMissingVotes, widely_missing,
+                                 std::to_string(widely_missing.size()) +
+                                     " authorities' votes missing at a majority of peers"});
+  }
+
+  // Consensus outcome: fork or total failure.
+  std::set<torcrypto::Digest256> distinct;
+  std::vector<torbase::NodeId> producers;
+  for (const auto& [authority, digest] : consensus_) {
+    if (digest.has_value()) {
+      distinct.insert(*digest);
+      producers.push_back(authority);
+    }
+  }
+  if (!consensus_.empty() && distinct.empty()) {
+    alerts.push_back(HealthAlert{HealthAlertKind::kNoConsensus, {},
+                                 "no authority produced a consensus this period"});
+  } else if (distinct.size() > 1) {
+    alerts.push_back(HealthAlert{HealthAlertKind::kConsensusFork, producers,
+                                 std::to_string(distinct.size()) +
+                                     " distinct consensus documents signed this period"});
+  }
+  return alerts;
+}
+
+void HealthMonitor::Reset() {
+  vote_digests_.clear();
+  received_from_.clear();
+  consensus_.clear();
+}
+
+}  // namespace tordir

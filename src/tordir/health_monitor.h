@@ -1,0 +1,79 @@
+// Consensus-health monitoring (Table 1: the emergency fix by Luo et al. that
+// was applied to Tor's consensus-health monitor [35]). The monitor ingests
+// what an observer can see of a directory round — which authorities' votes
+// each authority received, and the signed consensus documents published — and
+// raises alerts for the observable attack signatures:
+//
+//   * kMissingVotes      — a majority of authorities missing the same senders'
+//                          votes (the §4 DDoS signature, Figure 1)
+//   * kVoteEquivocation  — one authority's vote seen with two digests
+//   * kConsensusFork     — two differently-signed consensus documents in one
+//                          period (the Luo et al. equivocation attack)
+//   * kNoConsensus       — nobody produced a valid consensus this period
+//
+// Detection does not *fix* the protocol (the paper's point), but it is the
+// deployed mitigation for the current network and gives operators the Fig. 1
+// style evidence this repository reproduces.
+#ifndef SRC_TORDIR_HEALTH_MONITOR_H_
+#define SRC_TORDIR_HEALTH_MONITOR_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/crypto/digest.h"
+#include "src/tordir/vote.h"
+
+namespace tordir {
+
+enum class HealthAlertKind {
+  kMissingVotes,
+  kVoteEquivocation,
+  kConsensusFork,
+  kNoConsensus,
+};
+
+const char* HealthAlertName(HealthAlertKind kind);
+
+struct HealthAlert {
+  HealthAlertKind kind;
+  // Authorities implicated (senders whose votes were missing / the
+  // equivocator / signers of forked documents).
+  std::vector<torbase::NodeId> authorities;
+  std::string detail;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(uint32_t authority_count) : authority_count_(authority_count) {}
+
+  // Records that `observer` received a vote from `sender` with `digest`.
+  void RecordVote(torbase::NodeId observer, torbase::NodeId sender,
+                  const torcrypto::Digest256& digest);
+
+  // Records a consensus document an authority ended the period with
+  // (`digest` of the unsigned body); nullopt when it failed to produce one.
+  void RecordConsensus(torbase::NodeId authority,
+                       std::optional<torcrypto::Digest256> digest);
+
+  // Evaluates the period and returns all alerts (empty = healthy).
+  std::vector<HealthAlert> Analyze() const;
+
+  void Reset();
+
+ private:
+  uint32_t authority_count_;
+  // sender -> set of digests observed for its vote (>=2 means equivocation).
+  std::map<torbase::NodeId, std::set<torcrypto::Digest256>> vote_digests_;
+  // observer -> senders it received votes from.
+  std::map<torbase::NodeId, std::set<torbase::NodeId>> received_from_;
+  // authority -> consensus digest (if it produced one).
+  std::map<torbase::NodeId, std::optional<torcrypto::Digest256>> consensus_;
+};
+
+}  // namespace tordir
+
+#endif  // SRC_TORDIR_HEALTH_MONITOR_H_

@@ -1,0 +1,15 @@
+#include "src/tordir/vote.h"
+
+#include <algorithm>
+
+namespace tordir {
+
+void VoteDocument::SortRelays() {
+  std::sort(relays.begin(), relays.end(), RelayOrder);
+}
+
+void ConsensusDocument::SortRelays() {
+  std::sort(relays.begin(), relays.end(), RelayOrder);
+}
+
+}  // namespace tordir

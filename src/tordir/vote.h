@@ -1,0 +1,50 @@
+// Vote and consensus document models (dir-spec v3, as summarized in §3.1 of the
+// paper). Text serialization lives in src/tordir/dirspec.h.
+#ifndef SRC_TORDIR_VOTE_H_
+#define SRC_TORDIR_VOTE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/crypto/digest.h"
+#include "src/crypto/signature.h"
+#include "src/tordir/relay.h"
+
+namespace tordir {
+
+// One authority's status vote: its view of every relay it knows, plus the
+// voting-schedule metadata.
+struct VoteDocument {
+  torbase::NodeId authority = torbase::kNoNode;
+  std::string authority_nickname;
+  uint64_t valid_after = 0;   // unix seconds
+  uint64_t fresh_until = 0;   // consensus considered stale after this
+  uint64_t valid_until = 0;   // consensus invalid after this (3 h horizon)
+  std::vector<RelayStatus> relays;  // sorted by fingerprint
+
+  void SortRelays();
+  bool operator==(const VoteDocument&) const = default;
+};
+
+// The aggregated consensus document plus the authority signatures collected on
+// it. A consensus is *valid* once it carries signatures from a majority of the
+// authorities over the same digest (§4.2).
+struct ConsensusDocument {
+  uint64_t valid_after = 0;
+  uint64_t fresh_until = 0;
+  uint64_t valid_until = 0;
+  uint32_t vote_count = 0;  // number of votes aggregated
+  std::vector<RelayStatus> relays;
+
+  // Signatures over UnsignedDigest(); not part of the digest itself.
+  std::vector<torcrypto::Signature> signatures;
+
+  void SortRelays();
+  bool operator==(const ConsensusDocument&) const = default;
+};
+
+}  // namespace tordir
+
+#endif  // SRC_TORDIR_VOTE_H_

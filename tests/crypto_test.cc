@@ -1,0 +1,202 @@
+// Unit tests for src/crypto: SHA-256 against FIPS 180-4 / NIST vectors,
+// HMAC-SHA256 against RFC 4231 vectors, Digest256 semantics and the simulated
+// signature scheme's unforgeability-by-construction properties.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+
+#include "src/common/bytes.h"
+#include "src/crypto/digest.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/signature.h"
+
+namespace torcrypto {
+namespace {
+
+using torbase::Bytes;
+using torbase::HexDecode;
+using torbase::HexEncode;
+
+std::string HashHex(std::string_view input) { return HexEncode(Sha256Digest(input)); }
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HashHex(""), "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HashHex("abc"), "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HashHex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, FourBlockMessage) {
+  EXPECT_EQ(HashHex("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+                    "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    ctx.Update(chunk);
+  }
+  EXPECT_EQ(HexEncode(ctx.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 ctx;
+    ctx.Update(std::string_view(msg).substr(0, split));
+    ctx.Update(std::string_view(msg).substr(split));
+    EXPECT_EQ(ctx.Finish(), Sha256Digest(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 ctx;
+  ctx.Update(std::string_view("garbage"));
+  ctx.Finish();
+  ctx.Reset();
+  ctx.Update(std::string_view("abc"));
+  EXPECT_EQ(HexEncode(ctx.Finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, PaddingBoundaries) {
+  // Lengths around the 55/56/64-byte padding boundaries exercise the two-block
+  // padding path. Compare the incremental API against itself at different
+  // chunkings (self-consistency) plus a known 56-byte vector above.
+  for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string msg(len, 'x');
+    Sha256 a;
+    a.Update(msg);
+    Sha256 b;
+    for (char c : msg) {
+      b.Update(std::string_view(&c, 1));
+    }
+    EXPECT_EQ(a.Finish(), b.Finish()) << "len " << len;
+  }
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const std::string data = "Hi There";
+  const auto mac = HmacSha256(key, torbase::BytesOfString(data));
+  EXPECT_EQ(HexEncode(mac), "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  const Bytes key = torbase::BytesOfString("Jefe");
+  const std::string data = "what do ya want for nothing?";
+  const auto mac = HmacSha256(key, torbase::BytesOfString(data));
+  EXPECT_EQ(HexEncode(mac), "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  const auto mac = HmacSha256(key, data);
+  EXPECT_EQ(HexEncode(mac), "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const std::string data = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const auto mac = HmacSha256(key, torbase::BytesOfString(data));
+  EXPECT_EQ(HexEncode(mac), "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(DigestTest, OfStringMatchesSha) {
+  const auto d = Digest256::Of("abc");
+  EXPECT_EQ(d.ToHex(), "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(d.ShortHex(), "ba7816bf");
+}
+
+TEST(DigestTest, DefaultIsZero) {
+  Digest256 d;
+  EXPECT_TRUE(d.IsZero());
+  EXPECT_FALSE(Digest256::Of("x").IsZero());
+}
+
+TEST(DigestTest, OrderingAndEquality) {
+  const auto a = Digest256::Of("a");
+  const auto b = Digest256::Of("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, Digest256::Of("a"));
+  EXPECT_TRUE(a < b || b < a);
+}
+
+TEST(DigestTest, UsableInHashSet) {
+  std::unordered_set<Digest256> set;
+  set.insert(Digest256::Of("x"));
+  set.insert(Digest256::Of("y"));
+  set.insert(Digest256::Of("x"));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(Digest256::Of("y")) > 0);
+}
+
+class SignatureTest : public ::testing::Test {
+ protected:
+  KeyDirectory directory_{/*seed=*/42, /*node_count=*/9};
+};
+
+TEST_F(SignatureTest, SignVerifyRoundTrip) {
+  const Signer signer = directory_.SignerFor(3);
+  const Signature sig = signer.Sign(std::string("vote digest"));
+  EXPECT_EQ(sig.signer, 3u);
+  EXPECT_TRUE(directory_.Verify(std::string("vote digest"), sig));
+}
+
+TEST_F(SignatureTest, RejectsTamperedMessage) {
+  const Signature sig = directory_.SignerFor(0).Sign(std::string("original"));
+  EXPECT_FALSE(directory_.Verify(std::string("tampered"), sig));
+}
+
+TEST_F(SignatureTest, RejectsWrongClaimedSigner) {
+  Signature sig = directory_.SignerFor(1).Sign(std::string("msg"));
+  sig.signer = 2;  // claim someone else authored it
+  EXPECT_FALSE(directory_.Verify(std::string("msg"), sig));
+}
+
+TEST_F(SignatureTest, RejectsFlippedBit) {
+  Signature sig = directory_.SignerFor(4).Sign(std::string("msg"));
+  sig.bytes[10] ^= 0x01;
+  EXPECT_FALSE(directory_.Verify(std::string("msg"), sig));
+}
+
+TEST_F(SignatureTest, RejectsOutOfRangeSigner) {
+  Signature sig = directory_.SignerFor(0).Sign(std::string("msg"));
+  sig.signer = 99;
+  EXPECT_FALSE(directory_.Verify(std::string("msg"), sig));
+}
+
+TEST_F(SignatureTest, DistinctNodesProduceDistinctSignatures) {
+  const Signature a = directory_.SignerFor(0).Sign(std::string("msg"));
+  const Signature b = directory_.SignerFor(1).Sign(std::string("msg"));
+  EXPECT_NE(a.bytes, b.bytes);
+}
+
+TEST_F(SignatureTest, DeterministicAcrossDirectoryInstances) {
+  KeyDirectory other(/*seed=*/42, /*node_count=*/9);
+  const Signature a = directory_.SignerFor(5).Sign(std::string("msg"));
+  const Signature b = other.SignerFor(5).Sign(std::string("msg"));
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_TRUE(other.Verify(std::string("msg"), a));
+}
+
+TEST_F(SignatureTest, DifferentSeedsProduceIncompatibleKeys) {
+  KeyDirectory other(/*seed=*/43, /*node_count=*/9);
+  const Signature sig = directory_.SignerFor(5).Sign(std::string("msg"));
+  EXPECT_FALSE(other.Verify(std::string("msg"), sig));
+}
+
+}  // namespace
+}  // namespace torcrypto

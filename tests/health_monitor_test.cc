@@ -1,0 +1,113 @@
+// Tests for the consensus-health monitor: each attack signature (DDoS vote
+// starvation, vote equivocation, consensus fork, total failure) and the
+// healthy baseline.
+#include <gtest/gtest.h>
+
+#include "src/crypto/digest.h"
+#include "src/tordir/health_monitor.h"
+
+namespace tordir {
+namespace {
+
+using torcrypto::Digest256;
+
+Digest256 VoteDigestOf(torbase::NodeId sender, int variant = 0) {
+  return Digest256::Of("vote-" + std::to_string(sender) + "-" + std::to_string(variant));
+}
+
+// Populates a fully healthy period: everyone saw everyone's (single) vote and
+// produced the same consensus.
+void FillHealthy(HealthMonitor& monitor, uint32_t n) {
+  for (torbase::NodeId observer = 0; observer < n; ++observer) {
+    for (torbase::NodeId sender = 0; sender < n; ++sender) {
+      if (observer != sender) {
+        monitor.RecordVote(observer, sender, VoteDigestOf(sender));
+      }
+    }
+    monitor.RecordConsensus(observer, Digest256::Of("consensus"));
+  }
+}
+
+TEST(HealthMonitorTest, HealthyPeriodRaisesNothing) {
+  HealthMonitor monitor(9);
+  FillHealthy(monitor, 9);
+  EXPECT_TRUE(monitor.Analyze().empty());
+}
+
+TEST(HealthMonitorTest, DetectsDdosVoteStarvation) {
+  // The Figure 1 situation: votes from authorities 0-4 reach nobody.
+  HealthMonitor monitor(9);
+  for (torbase::NodeId observer = 0; observer < 9; ++observer) {
+    for (torbase::NodeId sender = 5; sender < 9; ++sender) {
+      if (observer != sender) {
+        monitor.RecordVote(observer, sender, VoteDigestOf(sender));
+      }
+    }
+    monitor.RecordConsensus(observer, std::nullopt);
+  }
+  const auto alerts = monitor.Analyze();
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(alerts[0].kind, HealthAlertKind::kMissingVotes);
+  EXPECT_EQ(alerts[0].authorities, (std::vector<torbase::NodeId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(alerts[1].kind, HealthAlertKind::kNoConsensus);
+}
+
+TEST(HealthMonitorTest, DetectsVoteEquivocation) {
+  HealthMonitor monitor(9);
+  FillHealthy(monitor, 9);
+  // Authority 3 also showed a second vote variant to someone.
+  monitor.RecordVote(7, 3, VoteDigestOf(3, /*variant=*/1));
+  const auto alerts = monitor.Analyze();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, HealthAlertKind::kVoteEquivocation);
+  EXPECT_EQ(alerts[0].authorities, (std::vector<torbase::NodeId>{3}));
+}
+
+TEST(HealthMonitorTest, DetectsConsensusFork) {
+  HealthMonitor monitor(9);
+  FillHealthy(monitor, 9);
+  monitor.RecordConsensus(1, Digest256::Of("fork-A"));
+  monitor.RecordConsensus(2, Digest256::Of("fork-A"));
+  const auto alerts = monitor.Analyze();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, HealthAlertKind::kConsensusFork);
+}
+
+TEST(HealthMonitorTest, MinorityMissingVotesIsNotAnAlert) {
+  HealthMonitor monitor(9);
+  FillHealthy(monitor, 9);
+  HealthMonitor partial(9);
+  // Authority 0's vote missing at only 3 of 8 peers: below the majority bar.
+  for (torbase::NodeId observer = 0; observer < 9; ++observer) {
+    for (torbase::NodeId sender = 0; sender < 9; ++sender) {
+      if (observer == sender) {
+        continue;
+      }
+      if (sender == 0 && observer >= 6) {
+        continue;  // observers 6,7,8 miss it
+      }
+      partial.RecordVote(observer, sender, VoteDigestOf(sender));
+    }
+    partial.RecordConsensus(observer, Digest256::Of("consensus"));
+  }
+  EXPECT_TRUE(partial.Analyze().empty());
+}
+
+TEST(HealthMonitorTest, ResetClearsState) {
+  HealthMonitor monitor(9);
+  monitor.RecordVote(0, 1, VoteDigestOf(1));
+  monitor.RecordVote(0, 1, VoteDigestOf(1, 1));
+  EXPECT_FALSE(monitor.Analyze().empty());
+  monitor.Reset();
+  EXPECT_TRUE(monitor.Analyze().empty());
+}
+
+TEST(HealthMonitorTest, AlertNamesAreStable) {
+  EXPECT_STREQ(HealthAlertName(HealthAlertKind::kMissingVotes), "missing-votes");
+  EXPECT_STREQ(HealthAlertName(HealthAlertKind::kVoteEquivocation), "vote-equivocation");
+  EXPECT_STREQ(HealthAlertName(HealthAlertKind::kConsensusFork), "consensus-fork");
+  EXPECT_STREQ(HealthAlertName(HealthAlertKind::kNoConsensus), "no-consensus");
+}
+
+}  // namespace
+}  // namespace tordir

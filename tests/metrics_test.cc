@@ -1,0 +1,132 @@
+// Tests for the experiment driver (src/metrics): the layer every bench relies
+// on. Covers success/latency/byte accounting for all three protocols, the
+// bandwidth-requirement search, and the two-phase agreement plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/attack/ddos.h"
+#include "src/metrics/experiment.h"
+
+namespace tormetrics {
+namespace {
+
+TEST(ExperimentTest, CurrentProtocolHealthyRun) {
+  ExperimentConfig config;
+  config.kind = ProtocolKind::kCurrent;
+  config.relay_count = 400;
+  const auto result = RunExperiment(config);
+  EXPECT_TRUE(result.succeeded);
+  EXPECT_EQ(result.valid_count, 9u);
+  EXPECT_GT(result.latency_seconds, 0.0);
+  EXPECT_LT(result.latency_seconds, 60.0);
+  EXPECT_GT(result.consensus_relays, 390u);
+  EXPECT_GT(result.total_bytes_sent, 0u);
+  EXPECT_GT(result.bytes_by_kind.at("VOTE"), result.bytes_by_kind.at("SIG"));
+}
+
+TEST(ExperimentTest, AllThreeProtocolsAgreeOnHealthySuccess) {
+  for (ProtocolKind kind :
+       {ProtocolKind::kCurrent, ProtocolKind::kSynchronous, ProtocolKind::kIcps}) {
+    ExperimentConfig config;
+    config.kind = kind;
+    config.relay_count = 300;
+    const auto result = RunExperiment(config);
+    EXPECT_TRUE(result.succeeded) << ProtocolName(kind);
+    EXPECT_EQ(result.valid_count, 9u) << ProtocolName(kind);
+  }
+}
+
+TEST(ExperimentTest, FailureYieldsNanLatency) {
+  ExperimentConfig config;
+  config.kind = ProtocolKind::kCurrent;
+  config.relay_count = 800;
+  torattack::AttackWindow attack;
+  attack.targets = torattack::FirstTargets(5);
+  attack.start = 0;
+  attack.end = torbase::Minutes(5);
+  config.attacks.push_back(attack);
+  const auto result = RunExperiment(config);
+  EXPECT_FALSE(result.succeeded);
+  EXPECT_TRUE(std::isnan(result.latency_seconds));
+  EXPECT_TRUE(std::isnan(result.finish_time_seconds));
+}
+
+TEST(ExperimentTest, DeterministicAcrossInvocations) {
+  ExperimentConfig config;
+  config.kind = ProtocolKind::kIcps;
+  config.relay_count = 250;
+  const auto a = RunExperiment(config);
+  const auto b = RunExperiment(config);
+  EXPECT_EQ(a.succeeded, b.succeeded);
+  EXPECT_DOUBLE_EQ(a.latency_seconds, b.latency_seconds);
+  EXPECT_EQ(a.total_bytes_sent, b.total_bytes_sent);
+}
+
+TEST(ExperimentTest, SynchronousMovesMoreBytesThanCurrent) {
+  ExperimentConfig config;
+  config.relay_count = 400;
+  config.kind = ProtocolKind::kCurrent;
+  const auto current = RunExperiment(config);
+  config.kind = ProtocolKind::kSynchronous;
+  const auto sync = RunExperiment(config);
+  // The packed-vote phase replicates every list n more times: ~5-9x traffic.
+  EXPECT_GT(sync.total_bytes_sent, 4 * current.total_bytes_sent);
+}
+
+TEST(ExperimentTest, TwoPhaseAgreementIsFasterNeverSlower) {
+  ExperimentConfig config;
+  config.kind = ProtocolKind::kIcps;
+  config.relay_count = 300;
+  config.two_phase_agreement = false;
+  const auto three_phase = RunExperiment(config);
+  config.two_phase_agreement = true;
+  const auto two_phase = RunExperiment(config);
+  ASSERT_TRUE(three_phase.succeeded);
+  ASSERT_TRUE(two_phase.succeeded);
+  EXPECT_LT(two_phase.latency_seconds, three_phase.latency_seconds);
+}
+
+TEST(ExperimentTest, SmallerAuthorityCountsWork) {
+  for (uint32_t n : {4u, 7u, 13u}) {
+    ExperimentConfig config;
+    config.kind = ProtocolKind::kIcps;
+    config.authority_count = n;
+    config.relay_count = 150;
+    const auto result = RunExperiment(config);
+    EXPECT_TRUE(result.succeeded) << "n = " << n;
+    EXPECT_EQ(result.valid_count, n) << "n = " << n;
+  }
+}
+
+TEST(ExperimentTest, BandwidthRequirementBracketsAndIsMonotone) {
+  ExperimentConfig config;
+  config.kind = ProtocolKind::kCurrent;
+  config.run_limit = torbase::Minutes(15);
+
+  config.relay_count = 800;
+  const double small = FindBandwidthRequirement(config, 5, 0.2e6, 25e6, /*probes=*/5);
+  config.relay_count = 2400;
+  const double large = FindBandwidthRequirement(config, 5, 0.2e6, 25e6, /*probes=*/5);
+  EXPECT_GT(small, 0.2e6);
+  EXPECT_LT(small, 25e6);
+  // Requirement grows with the relay count (Figure 7's monotonicity).
+  EXPECT_GT(large, small);
+  // And roughly linearly: 3x the relays within [1.5x, 6x] the bandwidth.
+  EXPECT_GT(large, 1.5 * small);
+  EXPECT_LT(large, 6.0 * small);
+}
+
+TEST(ExperimentTest, IcpsSucceedsWhereCurrentFails) {
+  // The headline comparison as a single assertion pair.
+  ExperimentConfig config;
+  config.relay_count = 1000;
+  config.bandwidth_bps = torsim::MegabitsPerSecond(1);
+  config.kind = ProtocolKind::kCurrent;
+  EXPECT_FALSE(RunExperiment(config).succeeded);
+  config.kind = ProtocolKind::kIcps;
+  EXPECT_TRUE(RunExperiment(config).succeeded);
+}
+
+}  // namespace
+}  // namespace tormetrics
