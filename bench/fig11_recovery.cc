@@ -7,11 +7,13 @@
 #include <cstdio>
 #include <limits>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "src/attack/ddos.h"
+#include "src/attack/schedule.h"
 #include "src/common/table.h"
-#include "src/metrics/experiment.h"
+#include "src/scenario/runner.h"
 
 int main() {
   std::printf("=== Figure 11: recovery after a 5-minute full DDoS on 5 authorities ===\n\n");
@@ -25,22 +27,27 @@ int main() {
   attack.start = 0;
   attack.end = torbase::Minutes(5);
   attack.available_bps = 0.0;  // knocked offline
+  const auto schedule = std::make_shared<torattack::WindowedAttack>(
+      std::vector<torattack::AttackWindow>{attack});
 
   // The lock-step protocols fail the attacked run; Tor's fallback reruns the
   // protocol 30 minutes later and needs the full 10-minute window (paper §6.2).
   constexpr double kLockStepFallbackSeconds = 2100.0;
 
+  torscenario::ScenarioRunner runner;
   for (size_t relays : relay_counts) {
-    tormetrics::ExperimentConfig config;
-    config.kind = tormetrics::ProtocolKind::kIcps;
-    config.relay_count = relays;
-    config.attacks = {attack};
-    const auto ours = tormetrics::RunExperiment(config);
+    torscenario::ScenarioSpec spec;
+    spec.name = "fig11";
+    spec.protocol = "icps";
+    spec.relay_count = relays;
+    spec.attack = schedule;
+    const auto ours = runner.Run(spec);
 
-    // Confirm the lock-step protocols actually fail this run.
-    tormetrics::ExperimentConfig current_config = config;
-    current_config.kind = tormetrics::ProtocolKind::kCurrent;
-    const bool current_failed = !tormetrics::RunExperiment(current_config).succeeded;
+    // Confirm the lock-step protocols actually fail this run (same workload,
+    // served from the runner's cache).
+    torscenario::ScenarioSpec current_spec = spec;
+    current_spec.protocol = "current";
+    const bool current_failed = !runner.Run(current_spec).succeeded;
 
     const double after_attack =
         ours.succeeded ? ours.finish_time_seconds - torbase::ToSeconds(attack.end)

@@ -1,60 +1,44 @@
 // Figure 1: the log of an unattacked directory authority while five other
 // authorities are under DDoS. Reproduces the "We're missing votes from 5
 // authorities ... We don't have enough votes to generate a consensus: 4 of 5"
-// sequence from the paper.
+// sequence from the paper. The run itself is a ScenarioSpec; the log lines are
+// read through the runner's inspection hook.
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "src/attack/ddos.h"
-#include "src/protocols/current/current_authority.h"
-#include "src/sim/actor.h"
-#include "src/tordir/generator.h"
+#include "src/attack/schedule.h"
+#include "src/scenario/runner.h"
 
 int main() {
   std::printf("=== Figure 1: authority log under a 5-authority DDoS (current protocol) ===\n\n");
-
-  torproto::ProtocolConfig config;
-  tordir::PopulationConfig pop_config;
-  pop_config.relay_count = 2000;
-  pop_config.seed = 1;
-  const auto population = tordir::GeneratePopulation(pop_config);
-  auto votes = tordir::MakeAllVotes(config.authority_count, population, pop_config);
-
-  torsim::NetworkConfig net_config;
-  net_config.node_count = config.authority_count;
-  net_config.default_bandwidth_bps = torattack::kAuthorityLinkBps;
-  net_config.default_latency = torbase::Millis(50);
-  torsim::Harness harness(net_config);
 
   torattack::AttackWindow attack;
   attack.targets = torattack::FirstTargets(5);
   attack.start = 0;
   attack.end = torbase::Minutes(5);
   attack.available_bps = torattack::kUnderAttackBps;
-  torattack::ApplyAttack(harness.net(), attack);
 
-  torcrypto::KeyDirectory directory(42, config.authority_count);
-  std::vector<torproto::CurrentAuthority*> authorities;
-  for (uint32_t a = 0; a < config.authority_count; ++a) {
-    authorities.push_back(static_cast<torproto::CurrentAuthority*>(harness.AddActor(
-        std::make_unique<torproto::CurrentAuthority>(config, &directory, std::move(votes[a])))));
-  }
-  harness.StartAll();
-  harness.sim().Run();
+  torscenario::ScenarioSpec spec;
+  spec.name = "fig1";
+  spec.protocol = "current";
+  spec.relay_count = 2000;
+  spec.seed = 1;
+  spec.attack = std::make_shared<torattack::WindowedAttack>(
+      std::vector<torattack::AttackWindow>{attack});
 
-  // Authority 8 is unattacked; its log shows the Figure 1 sequence.
-  for (const auto& record : authorities[8]->log().records()) {
-    std::printf("%s\n", record.Format().c_str());
-  }
+  torscenario::ScenarioRunner runner;
+  const auto result = runner.Run(spec, [](torsim::Harness&,
+                                          const std::vector<torsim::Actor*>& actors) {
+    // Authority 8 is unattacked; its log shows the Figure 1 sequence.
+    for (const auto& record : actors[8]->log().records()) {
+      std::printf("%s\n", record.Format().c_str());
+    }
+  });
 
   std::printf("\nRun outcome: ");
-  uint32_t valid = 0;
-  for (const auto* authority : authorities) {
-    if (authority->outcome().valid_consensus) {
-      ++valid;
-    }
-  }
   std::printf("%u of %u authorities produced a valid consensus (paper: 0 — attack succeeds).\n",
-              valid, config.authority_count);
+              result.valid_count, spec.authority_count);
   return 0;
 }

@@ -23,7 +23,7 @@ int main() {
   std::vector<double> ys;
   for (size_t relays : relay_counts) {
     tormetrics::ExperimentConfig config;
-    config.kind = tormetrics::ProtocolKind::kCurrent;
+    config.protocol = "current";
     config.relay_count = relays;
     config.run_limit = torbase::Minutes(15);
     const double required = tormetrics::FindBandwidthRequirement(

@@ -1,0 +1,71 @@
+// Sweep-cache microbenchmark: fig10-style grids run the same
+// (relay_count, seed) workload at many bandwidth settings, and generating the
+// relay population + the 9 vote documents dominates per-cell setup. This bench
+// runs one bandwidth sweep twice — a fresh ScenarioRunner per cell (no reuse,
+// the pre-refactor behaviour) vs. one shared runner — and reports the
+// generation counts and wall-clock times.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "src/scenario/runner.h"
+
+namespace {
+
+std::vector<torscenario::ScenarioSpec> Grid() {
+  std::vector<torscenario::ScenarioSpec> specs;
+  for (double bw_mbps : {100.0, 50.0, 20.0, 10.0, 5.0}) {
+    for (const char* protocol : {"current", "icps"}) {
+      torscenario::ScenarioSpec spec;
+      spec.name = "sweep_cache";
+      spec.protocol = protocol;
+      spec.relay_count = 2500;  // all cells share (relay_count, seed)
+      spec.seed = 1;
+      spec.bandwidth_bps = bw_mbps * 1e6;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+double Seconds(std::chrono::steady_clock::time_point from,
+               std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Sweep-cache microbenchmark (10-cell grid, one shared workload) ===\n\n");
+  const auto specs = Grid();
+
+  // Cold: a fresh runner per cell regenerates the population/votes every time.
+  size_t cold_generations = 0;
+  const auto cold_start = std::chrono::steady_clock::now();
+  for (const auto& spec : specs) {
+    torscenario::ScenarioRunner fresh;
+    fresh.Run(spec);
+    cold_generations += fresh.workload_cache_misses();
+  }
+  const auto cold_end = std::chrono::steady_clock::now();
+
+  // Warm: one runner for the whole sweep.
+  torscenario::ScenarioRunner shared;
+  const auto warm_start = std::chrono::steady_clock::now();
+  shared.Sweep(specs);
+  const auto warm_end = std::chrono::steady_clock::now();
+
+  const double cold_s = Seconds(cold_start, cold_end);
+  const double warm_s = Seconds(warm_start, warm_end);
+  std::printf("fresh runner per cell : %zu workload generations, %.2f s\n", cold_generations,
+              cold_s);
+  std::printf("shared runner sweep   : %zu generation(s), %zu cache hit(s), %.2f s\n",
+              shared.workload_cache_misses(), shared.workload_cache_hits(), warm_s);
+  std::printf("speedup               : %.2fx\n", warm_s > 0 ? cold_s / warm_s : 0.0);
+
+  const bool cached = shared.workload_cache_misses() == 1 &&
+                      shared.workload_cache_hits() == specs.size() - 1;
+  std::printf("\n%s: cells sharing (relay_count, seed) %s re-generate the workload.\n",
+              cached ? "OK" : "REGRESSION", cached ? "do not" : "DO");
+  return cached ? 0 : 1;
+}

@@ -22,7 +22,8 @@
 namespace {
 
 using tormetrics::ExperimentConfig;
-using tormetrics::ProtocolKind;
+
+const std::vector<std::string> kProtocols = {"current", "synchronous", "icps"};
 
 // Message kinds that carry full documents (the d-terms).
 bool IsDocumentKind(const std::string& kind) {
@@ -35,9 +36,9 @@ struct TrafficSplit {
   double control_bytes = 0;
 };
 
-TrafficSplit Run(ProtocolKind kind, uint32_t n, size_t relays) {
+TrafficSplit Run(const std::string& protocol, uint32_t n, size_t relays) {
   ExperimentConfig config;
-  config.kind = kind;
+  config.protocol = protocol;
   config.authority_count = n;
   config.relay_count = relays;
   const auto result = tormetrics::RunExperiment(config);
@@ -60,13 +61,12 @@ int main() {
   std::printf("Total bytes per run (n = 9, sweeping document size via relay count):\n");
   const std::vector<size_t> relay_grid = {500, 1000, 2000, 4000};
   torbase::Table by_d({"Relays", "Current (MB)", "Synchronous (MB)", "Ours (MB)"});
-  std::map<ProtocolKind, std::vector<double>> doc_bytes_by_d;
+  std::map<std::string, std::vector<double>> doc_bytes_by_d;
   for (size_t relays : relay_grid) {
     std::vector<std::string> row = {torbase::Table::Int(static_cast<long long>(relays))};
-    for (ProtocolKind kind :
-         {ProtocolKind::kCurrent, ProtocolKind::kSynchronous, ProtocolKind::kIcps}) {
-      const auto split = Run(kind, 9, relays);
-      doc_bytes_by_d[kind].push_back(split.document_bytes);
+    for (const std::string& protocol : kProtocols) {
+      const auto split = Run(protocol, 9, relays);
+      doc_bytes_by_d[protocol].push_back(split.document_bytes);
       row.push_back(torbase::Table::Num((split.document_bytes + split.control_bytes) / 1e6, 1));
     }
     by_d.AddRow(std::move(row));
@@ -76,27 +76,26 @@ int main() {
 
   std::vector<double> d_axis(relay_grid.begin(), relay_grid.end());
   std::printf("\nGrowth exponent of document traffic vs d (expected ~1 for all):\n");
-  for (auto [kind, name] : {std::pair{ProtocolKind::kCurrent, "Current"},
-                            {ProtocolKind::kSynchronous, "Synchronous"},
-                            {ProtocolKind::kIcps, "Ours"}}) {
+  for (auto [protocol, name] : {std::pair{"current", "Current"},
+                                {"synchronous", "Synchronous"},
+                                {"icps", "Ours"}}) {
     std::printf("  %-12s d-exponent = %.2f\n", name,
-                torbase::GrowthExponent(d_axis, doc_bytes_by_d[kind]));
+                torbase::GrowthExponent(d_axis, doc_bytes_by_d[protocol]));
   }
 
   std::printf("\nDocument traffic vs authority count (relays fixed at 800):\n");
   const std::vector<uint32_t> n_grid = {4, 7, 10, 13};
   torbase::Table by_n({"n", "Current doc (MB)", "Sync doc (MB)", "Ours doc (MB)",
                        "Current ctrl (KB)", "Sync ctrl (KB)", "Ours ctrl (KB)"});
-  std::map<ProtocolKind, std::vector<double>> doc_by_n;
-  std::map<ProtocolKind, std::vector<double>> ctrl_by_n;
+  std::map<std::string, std::vector<double>> doc_by_n;
+  std::map<std::string, std::vector<double>> ctrl_by_n;
   for (uint32_t n : n_grid) {
     std::vector<std::string> row = {torbase::Table::Int(n)};
     std::vector<std::string> ctrl_cells;
-    for (ProtocolKind kind :
-         {ProtocolKind::kCurrent, ProtocolKind::kSynchronous, ProtocolKind::kIcps}) {
-      const auto split = Run(kind, n, 800);
-      doc_by_n[kind].push_back(split.document_bytes);
-      ctrl_by_n[kind].push_back(split.control_bytes);
+    for (const std::string& protocol : kProtocols) {
+      const auto split = Run(protocol, n, 800);
+      doc_by_n[protocol].push_back(split.document_bytes);
+      ctrl_by_n[protocol].push_back(split.control_bytes);
       row.push_back(torbase::Table::Num(split.document_bytes / 1e6, 1));
       ctrl_cells.push_back(torbase::Table::Num(split.control_bytes / 1e3, 1));
     }
@@ -112,17 +111,17 @@ int main() {
   std::printf("\nGrowth exponents vs n:\n");
   torbase::Table exponents({"Protocol", "doc-traffic n-exp (expected)", "ctrl-traffic n-exp"});
   exponents.AddRow({"Current",
-                    torbase::Table::Num(torbase::GrowthExponent(n_axis, doc_by_n[ProtocolKind::kCurrent]), 2) +
+                    torbase::Table::Num(torbase::GrowthExponent(n_axis, doc_by_n["current"]), 2) +
                         "  (~2: n^2 d)",
-                    torbase::Table::Num(torbase::GrowthExponent(n_axis, ctrl_by_n[ProtocolKind::kCurrent]), 2)});
+                    torbase::Table::Num(torbase::GrowthExponent(n_axis, ctrl_by_n["current"]), 2)});
   exponents.AddRow({"Synchronous",
-                    torbase::Table::Num(torbase::GrowthExponent(n_axis, doc_by_n[ProtocolKind::kSynchronous]), 2) +
+                    torbase::Table::Num(torbase::GrowthExponent(n_axis, doc_by_n["synchronous"]), 2) +
                         "  (~3: n^3 d)",
-                    torbase::Table::Num(torbase::GrowthExponent(n_axis, ctrl_by_n[ProtocolKind::kSynchronous]), 2)});
+                    torbase::Table::Num(torbase::GrowthExponent(n_axis, ctrl_by_n["synchronous"]), 2)});
   exponents.AddRow({"Ours",
-                    torbase::Table::Num(torbase::GrowthExponent(n_axis, doc_by_n[ProtocolKind::kIcps]), 2) +
+                    torbase::Table::Num(torbase::GrowthExponent(n_axis, doc_by_n["icps"]), 2) +
                         "  (~2: n^2 d)",
-                    torbase::Table::Num(torbase::GrowthExponent(n_axis, ctrl_by_n[ProtocolKind::kIcps]), 2)});
+                    torbase::Table::Num(torbase::GrowthExponent(n_axis, ctrl_by_n["icps"]), 2)});
   exponents.Print(std::cout);
 
   std::printf("\nTable 1 (paper):\n");

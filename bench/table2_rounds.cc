@@ -31,7 +31,7 @@ int main() {
   std::printf("\nEmpirical good case (500 relays, 1 Gbit/s, 50 ms hops):\n");
   for (bool two_phase : {false, true}) {
     tormetrics::ExperimentConfig config;
-    config.kind = tormetrics::ProtocolKind::kIcps;
+    config.protocol = "icps";
     config.relay_count = 500;
     config.bandwidth_bps = 1e9;
     config.two_phase_agreement = two_phase;

@@ -7,28 +7,34 @@
 //
 //   ./build/examples/outage_timeline
 #include <cstdio>
+#include <memory>
+#include <string>
 
 #include "src/attack/ddos.h"
-#include "src/metrics/experiment.h"
+#include "src/attack/schedule.h"
+#include "src/scenario/runner.h"
 #include "src/tordir/freshness.h"
 
 namespace {
 
 // Simulates one hourly run: the attacker floods 5 authorities for the first
-// five minutes of the run (if attacking this hour).
-bool RunHour(tormetrics::ProtocolKind kind, bool attacked) {
-  tormetrics::ExperimentConfig config;
-  config.kind = kind;
-  config.relay_count = 2000;
+// five minutes of the run (if attacking this hour). Every hourly run shares
+// the caller's runner, and with it the generated population and votes.
+bool RunHour(torscenario::ScenarioRunner& runner, const std::string& protocol, bool attacked) {
+  torscenario::ScenarioSpec spec;
+  spec.name = "outage_timeline";
+  spec.protocol = protocol;
+  spec.relay_count = 2000;
   if (attacked) {
     torattack::AttackWindow window;
     window.targets = torattack::FirstTargets(5);
     window.start = 0;
     window.end = torbase::Minutes(5);
     window.available_bps = torattack::kUnderAttackBps;
-    config.attacks.push_back(window);
+    spec.attack = std::make_shared<torattack::WindowedAttack>(
+        std::vector<torattack::AttackWindow>{window});
   }
-  return tormetrics::RunExperiment(config).succeeded;
+  return runner.Run(spec).succeeded;
 }
 
 void PrintTimeline(const char* label, const std::vector<bool>& runs) {
@@ -56,14 +62,15 @@ int main() {
   std::printf("'+' = run succeeded / network up, 'x' = run failed, '!' = network down\n\n");
 
   constexpr int kHours = 12;
+  torscenario::ScenarioRunner runner;
 
   // The attacker starts flooding at hour 2 and never stops.
   std::vector<bool> current_runs;
   std::vector<bool> icps_runs;
   for (int hour = 0; hour < kHours; ++hour) {
     const bool attacked = hour >= 2;
-    current_runs.push_back(RunHour(tormetrics::ProtocolKind::kCurrent, attacked));
-    icps_runs.push_back(RunHour(tormetrics::ProtocolKind::kIcps, attacked));
+    current_runs.push_back(RunHour(runner, "current", attacked));
+    icps_runs.push_back(RunHour(runner, "icps", attacked));
     std::fflush(stdout);
   }
   PrintTimeline("Current, attack from hour 2:", current_runs);

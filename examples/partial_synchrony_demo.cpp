@@ -1,25 +1,31 @@
 // Side-by-side demonstration of the mitigation (§5/§6, Figure 11): the same
 // five-minute DDoS that kills the deployed protocol only *delays* the
 // partial-synchrony protocol, which produces a consensus seconds after
-// connectivity returns.
+// connectivity returns. Each run is the same ScenarioSpec with a different
+// protocol name — the workload is generated once.
 //
 //   ./build/examples/partial_synchrony_demo
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "src/attack/ddos.h"
-#include "src/metrics/experiment.h"
+#include "src/attack/schedule.h"
+#include "src/protocols/directory_protocol.h"
+#include "src/scenario/runner.h"
 
 namespace {
 
-void RunOne(tormetrics::ProtocolKind kind, const torattack::AttackWindow& attack) {
-  tormetrics::ExperimentConfig config;
-  config.kind = kind;
-  config.relay_count = 4000;
-  config.attacks = {attack};
-  const auto result = tormetrics::RunExperiment(config);
-  std::printf("  %-12s : ", tormetrics::ProtocolName(kind));
+void RunOne(torscenario::ScenarioRunner& runner, const torscenario::ScenarioSpec& base,
+            const std::string& protocol, torbase::TimePoint attack_end) {
+  torscenario::ScenarioSpec spec = base;
+  spec.protocol = protocol;
+  const auto result = runner.Run(spec);
+  std::printf("  %-12s : ",
+              std::string(torproto::GetProtocol(protocol).display_name()).c_str());
   if (result.succeeded) {
-    const double after = result.finish_time_seconds - torbase::ToSeconds(attack.end);
+    const double after = result.finish_time_seconds - torbase::ToSeconds(attack_end);
     std::printf("valid consensus %.1f s after the attack ended (%u/9 authorities)\n", after,
                 result.valid_count);
   } else {
@@ -41,9 +47,17 @@ int main() {
   attack.end = torbase::Minutes(5);
   attack.available_bps = 0.0;
 
-  RunOne(tormetrics::ProtocolKind::kCurrent, attack);
-  RunOne(tormetrics::ProtocolKind::kSynchronous, attack);
-  RunOne(tormetrics::ProtocolKind::kIcps, attack);
+  torscenario::ScenarioSpec base;
+  base.name = "partial_synchrony_demo";
+  base.relay_count = 4000;
+  base.attack = std::make_shared<torattack::WindowedAttack>(
+      std::vector<torattack::AttackWindow>{attack});
+
+  torscenario::ScenarioRunner runner;
+  for (const std::string& protocol : {std::string("current"), std::string("synchronous"),
+                                      std::string("icps")}) {
+    RunOne(runner, base, protocol, attack.end);
+  }
 
   std::printf("\nWhy: the lock-step protocols bind vote transfers to fixed 150 s rounds, so\n");
   std::printf("a synchrony violation during the vote rounds is unrecoverable within the run.\n");

@@ -4,8 +4,7 @@ namespace torattack {
 
 void ApplyAttack(torsim::Network& net, const AttackWindow& window) {
   for (torbase::NodeId target : window.targets) {
-    net.egress(target).LimitDuring(window.start, window.end, window.available_bps);
-    net.ingress(target).LimitDuring(window.start, window.end, window.available_bps);
+    net.LimitNode(target, window.start, window.end, window.BpsFor(target));
   }
 }
 

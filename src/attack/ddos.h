@@ -8,6 +8,7 @@
 #define SRC_ATTACK_DDOS_H_
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "src/common/ids.h"
@@ -30,10 +31,22 @@ struct AttackWindow {
   torbase::TimePoint end = 0;
   // Bandwidth left to the victim during the window (both directions).
   double available_bps = kUnderAttackBps;
+  // Per-target overrides of `available_bps`: an asymmetric flood leaves
+  // different victims different residual rates (e.g. TorMult-style
+  // heterogeneous authority links).
+  std::map<torbase::NodeId, double> available_bps_by_target;
+
+  double BpsFor(torbase::NodeId target) const {
+    const auto it = available_bps_by_target.find(target);
+    return it == available_bps_by_target.end() ? available_bps : it->second;
+  }
 };
 
-// Clamps every target's ingress and egress schedule during the window. Must be
-// called before the simulation reaches `window.start`.
+// Clamps every target's ingress and egress schedule during the window and
+// re-evaluates in-flight transfers. Callable both before the run starts and
+// mid-run (dynamic schedules), as long as window.start is not in the simulated
+// past. Overlapping windows on one target compose last-writer-wins over the
+// overlap (BandwidthSchedule::LimitDuring semantics).
 void ApplyAttack(torsim::Network& net, const AttackWindow& window);
 
 // Returns the canonical "attack the first `count` authorities" target list.

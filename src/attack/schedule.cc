@@ -1,0 +1,125 @@
+#include "src/attack/schedule.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace torattack {
+namespace {
+
+// splitmix64: deterministic, platform-independent epoch scrambling for seeded
+// rolling attacks.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+torbase::TimePoint EffectiveEnd(torbase::TimePoint configured_end,
+                                const AttackContext& context) {
+  if (context.horizon > 0) {
+    return std::min(configured_end, context.horizon);
+  }
+  return configured_end;
+}
+
+}  // namespace
+
+void WindowedAttack::Install(torsim::Harness& harness, const AttackContext& /*context*/) {
+  for (const AttackWindow& window : windows_) {
+    ApplyAttack(harness.net(), window);
+    // One history sample per distinct residual rate, so per-target overrides
+    // are reported as applied, not as the window's uniform rate.
+    std::map<double, std::vector<torbase::NodeId>> by_rate;
+    for (torbase::NodeId target : window.targets) {
+      by_rate[window.BpsFor(target)].push_back(target);
+    }
+    for (auto& [rate, targets] : by_rate) {
+      Record(window.start, std::move(targets), rate);
+    }
+  }
+}
+
+std::vector<torbase::NodeId> RollingAttack::VictimsOf(uint64_t epoch,
+                                                      uint32_t authority_count) const {
+  const uint32_t n = authority_count;
+  const uint32_t count = std::min(config_.victim_count, n);
+  const uint64_t offset = config_.seed != 0
+                              ? Mix(config_.seed ^ epoch) % n
+                              : (epoch * config_.stride) % n;
+  std::vector<torbase::NodeId> victims;
+  victims.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    victims.push_back(static_cast<torbase::NodeId>((offset + i) % n));
+  }
+  return victims;
+}
+
+void RollingAttack::Install(torsim::Harness& harness, const AttackContext& context) {
+  // The rotation is purely time-driven, so the whole schedule is known up
+  // front: install every epoch's window immediately.
+  const torbase::TimePoint end = EffectiveEnd(config_.end, context);
+  if (end == torbase::kTimeNever) {
+    // Open-ended rotation with no horizon to clamp to: there is no finite set
+    // of windows to install. Refuse rather than loop for ~2^63 epochs.
+    assert(false && "RollingAttack needs a finite end or a run horizon");
+    return;
+  }
+  uint64_t epoch = 0;
+  for (torbase::TimePoint t = config_.start; t < end; t += config_.period, ++epoch) {
+    AttackWindow window;
+    window.targets = VictimsOf(epoch, context.authority_count);
+    window.start = t;
+    window.end = std::min<torbase::TimePoint>(t + config_.period, end);
+    window.available_bps = config_.available_bps;
+    ApplyAttack(harness.net(), window);
+    Record(t, std::move(window.targets), config_.available_bps);
+  }
+}
+
+void AdaptiveLeaderAttack::Retarget(torsim::Harness& harness, const AttackContext& context,
+                                    uint64_t epoch, torbase::TimePoint end) {
+  const torbase::TimePoint now = harness.sim().now();
+  const uint32_t n = context.authority_count;
+
+  // Chase the live agreement leader; protocols without one (or before the
+  // agreement starts) get a deterministic round-robin sweep instead.
+  std::optional<torbase::NodeId> leader;
+  if (context.current_leader) {
+    leader = context.current_leader();
+  }
+  const torbase::NodeId head = leader.value_or(static_cast<torbase::NodeId>(epoch % n));
+
+  AttackWindow window;
+  const uint32_t count = std::min(config_.victim_count, n);
+  for (uint32_t i = 0; i < count; ++i) {
+    window.targets.push_back(static_cast<torbase::NodeId>((head + i) % n));
+  }
+  window.start = now;
+  window.end = std::min<torbase::TimePoint>(now + config_.period, end);
+  window.available_bps = config_.available_bps;
+  if (window.start < window.end) {
+    ApplyAttack(harness.net(), window);
+    Record(now, std::move(window.targets), config_.available_bps);
+  }
+
+  const torbase::TimePoint next = now + config_.period;
+  if (next < end) {
+    harness.sim().ScheduleAt(next, [this, &harness, context, epoch, end] {
+      Retarget(harness, context, epoch + 1, end);
+    });
+  }
+}
+
+void AdaptiveLeaderAttack::Install(torsim::Harness& harness, const AttackContext& context) {
+  const torbase::TimePoint end = EffectiveEnd(config_.end, context);
+  if (config_.start >= end) {
+    return;
+  }
+  harness.sim().ScheduleAt(config_.start, [this, &harness, context, end] {
+    Retarget(harness, context, 0, end);
+  });
+}
+
+}  // namespace torattack

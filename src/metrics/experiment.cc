@@ -1,142 +1,47 @@
 #include "src/metrics/experiment.h"
 
-#include <algorithm>
-#include <cmath>
 #include <memory>
+#include <utility>
 
-#include "src/core/icps_authority.h"
-#include "src/protocols/common.h"
-#include "src/protocols/current/current_authority.h"
-#include "src/protocols/sync/sync_authority.h"
-#include "src/sim/actor.h"
-#include "src/tordir/dirspec.h"
-#include "src/tordir/generator.h"
+#include "src/scenario/runner.h"
 
 namespace tormetrics {
 namespace {
 
-constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
-
-double MaxFinite(double a, double b) { return std::max(a, b); }
+ExperimentResult ToExperimentResult(const torscenario::ScenarioResult& scenario) {
+  ExperimentResult result;
+  result.succeeded = scenario.succeeded;
+  result.valid_count = scenario.valid_count;
+  result.latency_seconds = scenario.latency_seconds;
+  result.finish_time_seconds = scenario.finish_time_seconds;
+  result.consensus_relays = scenario.consensus_relays;
+  result.total_bytes_sent = scenario.total_bytes_sent;
+  result.bytes_by_kind = scenario.bytes_by_kind;
+  return result;
+}
 
 }  // namespace
 
-const char* ProtocolName(ProtocolKind kind) {
-  switch (kind) {
-    case ProtocolKind::kCurrent:
-      return "Current";
-    case ProtocolKind::kSynchronous:
-      return "Synchronous";
-    case ProtocolKind::kIcps:
-      return "Ours";
+torscenario::ScenarioSpec ToScenarioSpec(const ExperimentConfig& config) {
+  torscenario::ScenarioSpec spec;
+  spec.protocol = config.protocol;
+  spec.authority_count = config.authority_count;
+  spec.relay_count = config.relay_count;
+  spec.seed = config.seed;
+  spec.bandwidth_bps = config.bandwidth_bps;
+  spec.latency = config.latency;
+  spec.horizon = config.run_limit;
+  spec.dissemination_timeout = config.dissemination_timeout;
+  spec.two_phase_agreement = config.two_phase_agreement;
+  if (!config.attacks.empty()) {
+    spec.attack = std::make_shared<torattack::WindowedAttack>(config.attacks);
   }
-  return "?";
+  return spec;
 }
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
-  tordir::PopulationConfig pop_config;
-  pop_config.relay_count = config.relay_count;
-  pop_config.seed = config.seed;
-  const auto population = tordir::GeneratePopulation(pop_config);
-  auto votes = tordir::MakeAllVotes(config.authority_count, population, pop_config);
-
-  torcrypto::KeyDirectory directory(42, config.authority_count);
-
-  torsim::NetworkConfig net_config;
-  net_config.node_count = config.authority_count;
-  net_config.default_bandwidth_bps = config.bandwidth_bps;
-  net_config.default_latency = config.latency;
-  torsim::Harness harness(net_config);
-  for (const auto& window : config.attacks) {
-    torattack::ApplyAttack(harness.net(), window);
-  }
-
-  torproto::ProtocolConfig proto_config;
-  proto_config.authority_count = config.authority_count;
-  toricc::IcpsConfig icps_config;
-  icps_config.SetAuthorityCount(config.authority_count);
-  icps_config.dissemination_timeout = config.dissemination_timeout;
-  icps_config.hotstuff.two_phase = config.two_phase_agreement;
-
-  std::vector<torsim::Actor*> actors;
-  for (uint32_t a = 0; a < config.authority_count; ++a) {
-    switch (config.kind) {
-      case ProtocolKind::kCurrent:
-        actors.push_back(harness.AddActor(std::make_unique<torproto::CurrentAuthority>(
-            proto_config, &directory, std::move(votes[a]))));
-        break;
-      case ProtocolKind::kSynchronous:
-        actors.push_back(harness.AddActor(std::make_unique<torproto::SyncAuthority>(
-            proto_config, &directory, std::move(votes[a]))));
-        break;
-      case ProtocolKind::kIcps:
-        actors.push_back(harness.AddActor(std::make_unique<toricc::IcpsAuthority>(
-            icps_config, &directory, std::move(votes[a]))));
-        break;
-    }
-  }
-
-  harness.StartAll();
-  harness.sim().RunUntil(config.run_limit);
-
-  ExperimentResult result;
-  result.total_bytes_sent = harness.net().total_bytes_sent();
-  result.bytes_by_kind = harness.net().bytes_by_kind();
-
-  const double round_seconds = torbase::ToSeconds(proto_config.round_length);
-  double latency = 0.0;
-  double finish = 0.0;
-  for (uint32_t a = 0; a < config.authority_count; ++a) {
-    switch (config.kind) {
-      case ProtocolKind::kCurrent: {
-        const auto& outcome =
-            static_cast<torproto::CurrentAuthority*>(actors[a])->outcome();
-        if (!outcome.valid_consensus) {
-          continue;
-        }
-        ++result.valid_count;
-        result.consensus_relays = outcome.consensus.relays.size();
-        // Vote rounds' network time + signature rounds' network time.
-        const double vote_time = torbase::ToSeconds(outcome.all_votes_received_at);
-        const double sig_time =
-            torbase::ToSeconds(outcome.finished_at) - 2 * round_seconds;
-        latency = MaxFinite(latency, vote_time + sig_time);
-        finish = MaxFinite(finish, torbase::ToSeconds(outcome.finished_at));
-        break;
-      }
-      case ProtocolKind::kSynchronous: {
-        const auto& outcome = static_cast<torproto::SyncAuthority*>(actors[a])->outcome();
-        if (!outcome.valid_consensus) {
-          continue;
-        }
-        ++result.valid_count;
-        result.consensus_relays = outcome.consensus.relays.size();
-        const double list_time = torbase::ToSeconds(outcome.all_lists_received_at);
-        const double packed_time =
-            torbase::ToSeconds(outcome.all_packed_received_at) - round_seconds;
-        const double sig_time =
-            torbase::ToSeconds(outcome.finished_at) - 3 * round_seconds;
-        latency = MaxFinite(latency, list_time + packed_time + sig_time);
-        finish = MaxFinite(finish, torbase::ToSeconds(outcome.finished_at));
-        break;
-      }
-      case ProtocolKind::kIcps: {
-        const auto& outcome = static_cast<toricc::IcpsAuthority*>(actors[a])->outcome();
-        if (!outcome.valid_consensus) {
-          continue;
-        }
-        ++result.valid_count;
-        result.consensus_relays = outcome.consensus.relays.size();
-        latency = MaxFinite(latency, torbase::ToSeconds(outcome.finished_at));
-        finish = MaxFinite(finish, torbase::ToSeconds(outcome.finished_at));
-        break;
-      }
-    }
-  }
-  result.succeeded = result.valid_count > 0;
-  result.latency_seconds = result.succeeded ? latency : kNan;
-  result.finish_time_seconds = result.succeeded ? finish : kNan;
-  return result;
+  torscenario::ScenarioRunner runner;
+  return ToExperimentResult(runner.Run(ToScenarioSpec(config)));
 }
 
 double FindBandwidthRequirement(const ExperimentConfig& base, uint32_t victim_count, double lo_bps,
@@ -144,15 +49,19 @@ double FindBandwidthRequirement(const ExperimentConfig& base, uint32_t victim_co
   // Invariant: the protocol fails at lo and succeeds at hi. If it already
   // succeeds at lo (tiny relay counts), report lo; if it fails even at hi,
   // report hi as a lower bound.
+  torscenario::ScenarioRunner runner;  // shared: one workload for all probes
   auto probe = [&](double bandwidth) {
-    ExperimentConfig config = base;
+    torscenario::ScenarioSpec spec = ToScenarioSpec(base);
     torattack::AttackWindow window;
     window.targets = torattack::FirstTargets(victim_count);
     window.start = 0;
-    window.end = config.run_limit;
+    window.end = base.run_limit;
     window.available_bps = bandwidth;
-    config.attacks.push_back(window);
-    return RunExperiment(config).succeeded;
+    // The probe clamp joins (not replaces) any attacks in the base config.
+    std::vector<torattack::AttackWindow> windows = base.attacks;
+    windows.push_back(std::move(window));
+    spec.attack = std::make_shared<torattack::WindowedAttack>(std::move(windows));
+    return runner.Run(spec).succeeded;
   };
   if (probe(lo_bps)) {
     return lo_bps;

@@ -1,29 +1,28 @@
-// The shared experiment driver behind the bench harness: builds a simulated
-// authority network, installs attack windows, runs one directory-protocol
-// round for the selected protocol and reports the paper's metrics (§6.1/§6.2).
+// The shared experiment driver behind the bench harness — now a thin
+// compatibility wrapper over the scenario engine (src/scenario): builds a
+// ScenarioSpec from the flat config, runs it, and reports the paper's metrics
+// (§6.1/§6.2). Protocols are referenced by their DirectoryProtocol registry
+// name ("current", "synchronous", "icps"), not an enum: the experiment layer
+// contains no protocol-specific dispatch.
 #ifndef SRC_METRICS_EXPERIMENT_H_
 #define SRC_METRICS_EXPERIMENT_H_
 
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "src/attack/ddos.h"
 #include "src/common/time.h"
-#include "src/tordir/aggregate.h"
+#include "src/scenario/scenario.h"
 
 namespace tormetrics {
 
-enum class ProtocolKind {
-  kCurrent,      // deployed v3 protocol (src/protocols/current)
-  kSynchronous,  // Luo et al.'s fix (src/protocols/sync)
-  kIcps,         // this paper's protocol (src/core)
-};
-
-const char* ProtocolName(ProtocolKind kind);
-
 struct ExperimentConfig {
-  ProtocolKind kind = ProtocolKind::kCurrent;
+  // DirectoryProtocol registry key: "current" (deployed v3 protocol),
+  // "synchronous" (Luo et al.'s fix), "icps" (this paper's protocol), or any
+  // registered extension.
+  std::string protocol = "current";
   uint32_t authority_count = 9;
   size_t relay_count = 7000;
   uint64_t seed = 1;
@@ -48,14 +47,18 @@ struct ExperimentResult {
   // The paper's §6.2 "network time": for the lock-step protocols, the sum of
   // per-round processing times (excluding the idle remainder of each 150 s
   // round); for ICPS, simply start-to-finish. NaN when the run failed.
-  double latency_seconds = 0.0;
+  double latency_seconds = std::numeric_limits<double>::quiet_NaN();
   // Absolute virtual time of the last authority finishing. NaN on failure.
-  double finish_time_seconds = 0.0;
+  double finish_time_seconds = std::numeric_limits<double>::quiet_NaN();
 
   size_t consensus_relays = 0;
   uint64_t total_bytes_sent = 0;
   std::map<std::string, uint64_t> bytes_by_kind;
 };
+
+// The ScenarioSpec equivalent of `config` (exposed so callers can start from
+// the flat config and then layer scenario-only features on top).
+torscenario::ScenarioSpec ToScenarioSpec(const ExperimentConfig& config);
 
 // Runs one full protocol round. Deterministic given the config.
 ExperimentResult RunExperiment(const ExperimentConfig& config);
@@ -63,7 +66,8 @@ ExperimentResult RunExperiment(const ExperimentConfig& config);
 // Binary-searches the minimum per-victim bandwidth (in bits/s, within
 // [lo, hi]) at which the protocol still succeeds while `victim_count`
 // authorities are clamped for the whole run — the Figure 7 measurement.
-// `probes` halvings give ~hi/2^probes resolution.
+// `probes` halvings give ~hi/2^probes resolution. All probe runs share one
+// scenario runner, so the population/votes are generated once per search.
 double FindBandwidthRequirement(const ExperimentConfig& base, uint32_t victim_count, double lo_bps,
                                 double hi_bps, int probes = 7);
 

@@ -41,6 +41,7 @@ class CurrentAuthority : public torsim::Actor {
   void OnMessage(NodeId from, const torbase::Bytes& payload) override;
 
   const AuthorityOutcome& outcome() const { return outcome_; }
+  const ProtocolConfig& config() const { return config_; }
   bool finished() const { return finished_; }
 
  private:

@@ -1,0 +1,100 @@
+// Pluggable directory-protocol abstraction. The experiment and scenario
+// layers dispatch on this interface instead of switching over an enum: a
+// protocol knows how to build its per-authority actor and how to read the
+// paper's metrics back out of one, so adding a fourth protocol is one
+// registration instead of three switch statements.
+#ifndef SRC_PROTOCOLS_DIRECTORY_PROTOCOL_H_
+#define SRC_PROTOCOLS_DIRECTORY_PROTOCOL_H_
+
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/time.h"
+#include "src/crypto/signature.h"
+#include "src/sim/actor.h"
+#include "src/tordir/vote.h"
+
+namespace torproto {
+
+// Run-level knobs shared by every protocol factory. Implementations consume
+// what applies to them and ignore the rest (the ICPS fields are no-ops for the
+// lock-step protocols).
+struct ProtocolRunConfig {
+  uint32_t authority_count = 9;
+  // ICPS dissemination wait Δ.
+  torbase::Duration dissemination_timeout = torbase::Seconds(150);
+  // ICPS agreement commit path: false = 3-phase HotStuff, true = Jolteon-style
+  // 2-phase (the paper's variant).
+  bool two_phase_agreement = false;
+};
+
+// One authority's run outcome, unified across protocols. The per-protocol
+// outcome structs (AuthorityOutcome, SyncOutcome, IcpsOutcome) stay richer;
+// this is the slice every consumer of the experiment layer needs.
+struct UnifiedOutcome {
+  bool valid_consensus = false;
+  size_t consensus_relays = 0;
+  // The paper's §6.2 "network time" in seconds: for the lock-step protocols,
+  // the sum of per-round processing times excluding the idle remainder of each
+  // round; for ICPS, simply start-to-finish. NaN if this authority never
+  // assembled a valid consensus.
+  double network_time_seconds = std::numeric_limits<double>::quiet_NaN();
+  // Absolute virtual time (seconds) at which this authority finished. NaN on
+  // failure.
+  double finish_seconds = std::numeric_limits<double>::quiet_NaN();
+};
+
+class DirectoryProtocol {
+ public:
+  virtual ~DirectoryProtocol() = default;
+
+  // Registry key, e.g. "current". Lowercase, stable across releases.
+  virtual std::string_view name() const = 0;
+  // Column label for tables and figures, e.g. "Current" or "Ours".
+  virtual std::string_view display_name() const = 0;
+
+  // Builds authority `id`'s actor. `directory` outlives the actor; `vote` is
+  // the authority's own vote document.
+  virtual std::unique_ptr<torsim::Actor> MakeAuthority(
+      const ProtocolRunConfig& config, const torcrypto::KeyDirectory* directory,
+      torbase::NodeId id, tordir::VoteDocument vote) const = 0;
+
+  // Reads the unified outcome back out of an actor this protocol created.
+  virtual UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const = 0;
+
+  // The (view, leader) of `actor`'s in-flight agreement sub-protocol, if the
+  // protocol has a leader notion and the agreement is still undecided.
+  // Adaptive leader-chasing attacks key off this.
+  virtual std::optional<std::pair<uint64_t, torbase::NodeId>> AgreementView(
+      const torsim::Actor& actor) const {
+    (void)actor;
+    return std::nullopt;
+  }
+};
+
+// --- registry ----------------------------------------------------------------
+// The built-in protocols ("current", "synchronous", "icps") register lazily on
+// first lookup; tests and downstream code may add more. Registering a name
+// twice replaces the earlier implementation.
+
+void RegisterProtocol(std::unique_ptr<DirectoryProtocol> protocol);
+
+// nullptr when `name` is unknown.
+const DirectoryProtocol* FindProtocol(std::string_view name);
+
+// Aborts with a diagnostic when `name` is unknown — scenario specs naming a
+// missing protocol are configuration errors.
+const DirectoryProtocol& GetProtocol(std::string_view name);
+
+// Sorted registry keys.
+std::vector<std::string> RegisteredProtocolNames();
+
+}  // namespace torproto
+
+#endif  // SRC_PROTOCOLS_DIRECTORY_PROTOCOL_H_

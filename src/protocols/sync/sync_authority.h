@@ -62,6 +62,7 @@ class SyncAuthority : public torsim::Actor {
   void OnMessage(NodeId from, const torbase::Bytes& payload) override;
 
   const SyncOutcome& outcome() const { return outcome_; }
+  const ProtocolConfig& config() const { return config_; }
   bool finished() const { return finished_; }
 
   // The designated Dolev-Strong sender.

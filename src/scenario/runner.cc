@@ -1,0 +1,155 @@
+#include "src/scenario/runner.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "src/protocols/directory_protocol.h"
+
+namespace torscenario {
+namespace {
+
+// Key seed of the authority signing directory; fixed across the repo so logs
+// and digests are comparable between drivers.
+constexpr uint64_t kKeyDirectorySeed = 42;
+
+double NodeRate(const ScenarioSpec& spec, torbase::NodeId node) {
+  const auto it = spec.bandwidth_by_authority.find(node);
+  return it == spec.bandwidth_by_authority.end() ? spec.bandwidth_bps : it->second;
+}
+
+}  // namespace
+
+std::shared_ptr<const ScenarioRunner::Workload> ScenarioRunner::GetWorkload(
+    const ScenarioSpec& spec) {
+  const WorkloadKey key{spec.relay_count, spec.seed, spec.authority_count};
+  const auto it = workloads_.find(key);
+  if (it != workloads_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++cache_misses_;
+  tordir::PopulationConfig pop_config;
+  pop_config.relay_count = spec.relay_count;
+  pop_config.seed = spec.seed;
+  auto workload = std::make_shared<Workload>();
+  workload->population = tordir::GeneratePopulation(pop_config);
+  workload->votes =
+      tordir::MakeAllVotes(spec.authority_count, workload->population, pop_config);
+  workloads_[key] = workload;
+  return workload;
+}
+
+ScenarioResult ScenarioRunner::Run(const ScenarioSpec& spec) { return Run(spec, InspectFn()); }
+
+ScenarioResult ScenarioRunner::Run(const ScenarioSpec& spec, const InspectFn& inspect) {
+  const torproto::DirectoryProtocol& protocol = torproto::GetProtocol(spec.protocol);
+  const std::shared_ptr<const Workload> workload = GetWorkload(spec);
+
+  torcrypto::KeyDirectory directory(kKeyDirectorySeed, spec.authority_count);
+
+  torsim::NetworkConfig net_config;
+  net_config.node_count = spec.authority_count;
+  net_config.default_bandwidth_bps = spec.bandwidth_bps;
+  net_config.default_latency = spec.latency;
+  torsim::Harness harness(net_config);
+  for (const auto& [node, bps] : spec.bandwidth_by_authority) {
+    harness.net().SetNodeRateFrom(node, 0, bps);
+  }
+
+  torproto::ProtocolRunConfig run_config;
+  run_config.authority_count = spec.authority_count;
+  run_config.dissemination_timeout = spec.dissemination_timeout;
+  run_config.two_phase_agreement = spec.two_phase_agreement;
+
+  std::vector<torsim::Actor*> actors;
+  actors.reserve(spec.authority_count);
+  for (uint32_t a = 0; a < spec.authority_count; ++a) {
+    // Copy the cached vote: the actor consumes its document, the workload is
+    // shared across runs.
+    actors.push_back(
+        harness.AddActor(protocol.MakeAuthority(run_config, &directory, a, workload->votes[a])));
+  }
+
+  torattack::AttackContext attack_context;
+  if (spec.attack != nullptr) {
+    attack_context.authority_count = spec.authority_count;
+    attack_context.horizon = spec.horizon;
+    attack_context.current_leader = [&protocol, &actors]() -> std::optional<torbase::NodeId> {
+      // The leader of the highest in-flight view across authorities: the view
+      // an attacker watching the wire would see being driven right now.
+      std::optional<std::pair<uint64_t, torbase::NodeId>> best;
+      for (const torsim::Actor* actor : actors) {
+        const auto view = protocol.AgreementView(*actor);
+        if (view.has_value() && (!best.has_value() || view->first > best->first)) {
+          best = view;
+        }
+      }
+      if (!best.has_value()) {
+        return std::nullopt;
+      }
+      return best->second;
+    };
+    spec.attack->ClearHistory();
+    spec.attack->Install(harness, attack_context);
+  }
+
+  // Churn is applied after the attack schedule, in time order, so a crash
+  // erases any later attack restore points on that node: a crashed authority
+  // stays down until its own recover event, not until an attack window ends.
+  std::vector<ChurnEvent> churn = spec.churn;
+  std::stable_sort(churn.begin(), churn.end(), [](const ChurnEvent& a, const ChurnEvent& b) {
+    return a.at != b.at ? a.at < b.at : a.kind < b.kind;
+  });
+  for (const ChurnEvent& event : churn) {
+    if (event.kind == ChurnEvent::Kind::kCrash) {
+      harness.net().LimitNode(event.node, event.at, torbase::kTimeNever, 0.0);
+    } else {
+      harness.net().SetNodeRateFrom(event.node, event.at, NodeRate(spec, event.node));
+    }
+  }
+
+  harness.StartAll();
+  harness.sim().RunUntil(spec.horizon);
+
+  ScenarioResult result;
+  result.total_bytes_sent = harness.net().total_bytes_sent();
+  result.bytes_by_kind = harness.net().bytes_by_kind();
+
+  double latency = 0.0;
+  double finish = 0.0;
+  for (const torsim::Actor* actor : actors) {
+    const torproto::UnifiedOutcome outcome = protocol.ProbeOutcome(*actor);
+    if (!outcome.valid_consensus) {
+      continue;
+    }
+    ++result.valid_count;
+    result.consensus_relays = outcome.consensus_relays;
+    latency = std::max(latency, outcome.network_time_seconds);
+    finish = std::max(finish, outcome.finish_seconds);
+  }
+  result.succeeded = result.valid_count > 0;
+  if (result.succeeded) {
+    result.latency_seconds = latency;
+    result.finish_time_seconds = finish;
+  }
+  if (spec.attack != nullptr) {
+    result.attack_history = spec.attack->history();
+  }
+
+  if (inspect) {
+    inspect(harness, actors);
+  }
+  return result;
+}
+
+std::vector<ScenarioResult> ScenarioRunner::Sweep(const std::vector<ScenarioSpec>& specs) {
+  std::vector<ScenarioResult> results;
+  results.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) {
+    results.push_back(Run(spec));
+  }
+  return results;
+}
+
+}  // namespace torscenario

@@ -1,0 +1,64 @@
+// Executes ScenarioSpecs. One runner owns a workload cache: generating the
+// relay population and the n vote documents is the dominant per-cell setup
+// cost in fig10-style grids, and every cell of a bandwidth sweep shares the
+// same (relay_count, seed, authority_count) workload — so the runner
+// generates each workload once and reuses it across runs.
+#ifndef SRC_SCENARIO_RUNNER_H_
+#define SRC_SCENARIO_RUNNER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "src/scenario/scenario.h"
+#include "src/sim/actor.h"
+#include "src/tordir/generator.h"
+
+namespace torscenario {
+
+class ScenarioRunner {
+ public:
+  // Post-run hook: runs after the simulation drained but before the harness is
+  // torn down, for consumers that need more than a ScenarioResult (e.g. the
+  // fig1 driver reads an authority's log records).
+  using InspectFn =
+      std::function<void(torsim::Harness& harness, const std::vector<torsim::Actor*>& actors)>;
+
+  ScenarioRunner() = default;
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  // Runs one scenario. Deterministic given the spec.
+  ScenarioResult Run(const ScenarioSpec& spec);
+  ScenarioResult Run(const ScenarioSpec& spec, const InspectFn& inspect);
+
+  // Runs every spec in order, sharing the workload cache across cells.
+  std::vector<ScenarioResult> Sweep(const std::vector<ScenarioSpec>& specs);
+
+  // Workload-cache telemetry (asserted by tests, reported by benches).
+  size_t workload_cache_hits() const { return cache_hits_; }
+  size_t workload_cache_misses() const { return cache_misses_; }
+  size_t workload_cache_size() const { return workloads_.size(); }
+  void ClearWorkloadCache() { workloads_.clear(); }
+
+ private:
+  // A generated population plus all authorities' votes over it. Immutable once
+  // built; runs copy the votes they hand to actors.
+  struct Workload {
+    std::vector<tordir::RelayStatus> population;
+    std::vector<tordir::VoteDocument> votes;
+  };
+  using WorkloadKey = std::tuple<size_t, uint64_t, uint32_t>;  // (relays, seed, n)
+
+  std::shared_ptr<const Workload> GetWorkload(const ScenarioSpec& spec);
+
+  std::map<WorkloadKey, std::shared_ptr<const Workload>> workloads_;
+  size_t cache_hits_ = 0;
+  size_t cache_misses_ = 0;
+};
+
+}  // namespace torscenario
+
+#endif  // SRC_SCENARIO_RUNNER_H_

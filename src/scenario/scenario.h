@@ -1,0 +1,93 @@
+// Declarative experiment scenarios. A ScenarioSpec says *what* to run — which
+// registered directory protocol, how many relays/authorities, per-authority
+// bandwidth, the attack schedule, churn — and the ScenarioRunner (runner.h)
+// executes it. Every bench and example describes its workload as a spec
+// instead of hand-wiring harnesses, so a new workload is a new spec, not a new
+// driver.
+#ifndef SRC_SCENARIO_SCENARIO_H_
+#define SRC_SCENARIO_SCENARIO_H_
+
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/attack/ddos.h"
+#include "src/attack/schedule.h"
+#include "src/common/ids.h"
+#include "src/common/time.h"
+
+namespace torscenario {
+
+// An authority leaving or (re)joining the network mid-run, modelled as its
+// link dropping to zero / returning to the spec rate — the same fluid
+// mechanism as a DDoS, but permanent until the matching recover event. A
+// crash overrides attack windows installed up front (the node does not come
+// back when a window's clamp expires); only dynamic schedules re-clamping the
+// dead node *after* the crash can briefly raise its rate again.
+struct ChurnEvent {
+  enum class Kind { kCrash, kRecover };
+
+  torbase::NodeId node = 0;
+  torbase::TimePoint at = 0;
+  Kind kind = Kind::kCrash;
+};
+
+struct ScenarioSpec {
+  // Free-form label, echoed in reports.
+  std::string name;
+
+  // DirectoryProtocol registry key: "current", "synchronous", "icps", or any
+  // protocol registered by downstream code.
+  std::string protocol = "current";
+
+  uint32_t authority_count = 9;
+  size_t relay_count = 7000;
+  // Population/vote generation seed. Sweep cells sharing
+  // (relay_count, seed, authority_count) reuse the generated workload.
+  uint64_t seed = 1;
+
+  // Uniform authority NIC capacity...
+  double bandwidth_bps = torattack::kAuthorityLinkBps;
+  // ...with per-authority overrides for heterogeneous deployments.
+  std::map<torbase::NodeId, double> bandwidth_by_authority;
+
+  torbase::Duration latency = torbase::Millis(50);
+
+  // Attack schedule; null = unattacked. shared_ptr so a sweep can reuse one
+  // schedule object across cells (the runner clears its history per run).
+  std::shared_ptr<torattack::AttackSchedule> attack;
+
+  std::vector<ChurnEvent> churn;
+
+  // Simulation horizon; the ICPS protocol under heavy starvation may need
+  // hours of virtual time.
+  torbase::TimePoint horizon = torbase::Hours(4);
+
+  // ICPS knobs (ignored by the lock-step protocols).
+  torbase::Duration dissemination_timeout = torbase::Seconds(150);
+  bool two_phase_agreement = false;
+};
+
+struct ScenarioResult {
+  bool succeeded = false;    // >= 1 authority assembled a valid consensus
+  uint32_t valid_count = 0;  // authorities with a valid consensus
+
+  // §6.2 network time / absolute finish of the slowest successful authority.
+  // NaN when the run failed.
+  double latency_seconds = std::numeric_limits<double>::quiet_NaN();
+  double finish_time_seconds = std::numeric_limits<double>::quiet_NaN();
+
+  size_t consensus_relays = 0;
+  uint64_t total_bytes_sent = 0;
+  std::map<std::string, uint64_t> bytes_by_kind;
+
+  // (time, victims) pairs the attack schedule applied during this run; empty
+  // for unattacked scenarios.
+  std::vector<torattack::AttackSample> attack_history;
+};
+
+}  // namespace torscenario
+
+#endif  // SRC_SCENARIO_SCENARIO_H_

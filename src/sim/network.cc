@@ -31,6 +31,26 @@ Duration Network::latency(NodeId a, NodeId b) const {
   return latencies_[static_cast<size_t>(a) * node_count() + b];
 }
 
+void Network::LimitNode(NodeId node, TimePoint from, TimePoint to, double bits_per_sec) {
+  assert(node < node_count());
+  assert(from >= sim_->now() && "cannot clamp instants the NICs already integrated over");
+  NodeState& state = *nodes_[node];
+  state.egress.schedule().LimitDuring(from, to, bits_per_sec);
+  state.ingress.schedule().LimitDuring(from, to, bits_per_sec);
+  state.egress.OnScheduleChanged();
+  state.ingress.OnScheduleChanged();
+}
+
+void Network::SetNodeRateFrom(NodeId node, TimePoint from, double bits_per_sec) {
+  assert(node < node_count());
+  assert(from >= sim_->now() && "cannot edit instants the NICs already integrated over");
+  NodeState& state = *nodes_[node];
+  state.egress.schedule().SetRateFrom(from, bits_per_sec);
+  state.ingress.schedule().SetRateFrom(from, bits_per_sec);
+  state.egress.OnScheduleChanged();
+  state.ingress.OnScheduleChanged();
+}
+
 void Network::SetHandler(NodeId node, DeliverFn handler) {
   nodes_[node]->handler = std::move(handler);
 }

@@ -64,9 +64,22 @@ class Network {
   uint32_t node_count() const { return static_cast<uint32_t>(nodes_.size()); }
   Simulator& sim() { return *sim_; }
 
-  // NIC rate schedules, exposed so attack models can clamp them.
+  // NIC rate schedules, exposed so attack models can clamp them. Direct edits
+  // are only safe before the simulation reaches the edited instants; dynamic
+  // policies should go through LimitNode / SetNodeRateFrom instead.
   BandwidthSchedule& egress(NodeId node) { return nodes_[node]->egress.schedule(); }
   BandwidthSchedule& ingress(NodeId node) { return nodes_[node]->ingress.schedule(); }
+
+  // Clamps both of `node`'s NIC directions to `bits_per_sec` during
+  // [from, to), restoring the underlying rate afterwards, and re-evaluates
+  // in-flight transfers. Safe to call mid-run as long as from >= sim().now();
+  // this is the primitive behind every attack schedule.
+  void LimitNode(NodeId node, TimePoint from, TimePoint to, double bits_per_sec);
+
+  // Sets both of `node`'s NIC directions to `bits_per_sec` from `from`
+  // onwards (crash/recover churn and heterogeneous capacities). Same timing
+  // contract as LimitNode.
+  void SetNodeRateFrom(NodeId node, TimePoint from, double bits_per_sec);
 
   void SetLatency(NodeId a, NodeId b, Duration latency);           // directed a->b
   void SetSymmetricLatency(NodeId a, NodeId b, Duration latency);  // both ways

@@ -117,6 +117,13 @@ void SharedNic::Reschedule() {
   flows_.clear();
 }
 
+void SharedNic::OnScheduleChanged() {
+  // Drain up to now() first: edits are restricted to t >= now(), so the
+  // integral over [last_update_, now] still uses the rates that were in force.
+  Advance();
+  Reschedule();
+}
+
 void SharedNic::StartTransfer(double bits, std::function<void()> on_complete) {
   assert(bits >= 0.0);
   Advance();

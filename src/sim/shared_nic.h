@@ -22,10 +22,17 @@ class SharedNic {
   // `sim` must outlive the NIC.
   SharedNic(Simulator* sim, double initial_bits_per_sec);
 
-  // The rate schedule. Changes must be registered before simulated time
-  // reaches them (attack windows are configured up front).
+  // The rate schedule. Changes must either lie in the simulated future or be
+  // followed by OnScheduleChanged() before the next event fires; editing the
+  // schedule at instants the NIC has already integrated over is undefined.
   BandwidthSchedule& schedule() { return schedule_; }
   const BandwidthSchedule& schedule() const { return schedule_; }
+
+  // Re-derives in-flight completion times after the schedule was edited at or
+  // after the current instant. Dynamic attack policies (rolling victims,
+  // leader chasing) clamp rates mid-run and must call this so transfers that
+  // were already draining pick up the new rate.
+  void OnScheduleChanged();
 
   // Starts a transfer of `bits`; `on_complete` runs (via the event queue) when
   // the last bit has drained. Transfers that can never complete (zero rate

@@ -49,7 +49,16 @@ class Simulator {
   // Executes the single next event, if any. Returns whether one fired.
   bool RunOne();
 
-  size_t pending_count() const { return queue_.size() - cancelled_.size(); }
+  // Live (non-cancelled) events still queued. `cancelled_` normally only
+  // tracks ids that are still in `queue_`, but that invariant is easy to break
+  // from the outside (e.g. draining the queue while a cancellation is
+  // recorded), so guard the unsigned subtraction instead of underflowing to
+  // ~2^64.
+  size_t pending_count() const {
+    const size_t queued = queue_.size();
+    const size_t cancelled = cancelled_.size();
+    return queued > cancelled ? queued - cancelled : 0;
+  }
   uint64_t executed_count() const { return executed_; }
 
  private:

@@ -13,7 +13,7 @@ namespace {
 
 TEST(ExperimentTest, CurrentProtocolHealthyRun) {
   ExperimentConfig config;
-  config.kind = ProtocolKind::kCurrent;
+  config.protocol = "current";
   config.relay_count = 400;
   const auto result = RunExperiment(config);
   EXPECT_TRUE(result.succeeded);
@@ -26,20 +26,19 @@ TEST(ExperimentTest, CurrentProtocolHealthyRun) {
 }
 
 TEST(ExperimentTest, AllThreeProtocolsAgreeOnHealthySuccess) {
-  for (ProtocolKind kind :
-       {ProtocolKind::kCurrent, ProtocolKind::kSynchronous, ProtocolKind::kIcps}) {
+  for (const char* protocol : {"current", "synchronous", "icps"}) {
     ExperimentConfig config;
-    config.kind = kind;
+    config.protocol = protocol;
     config.relay_count = 300;
     const auto result = RunExperiment(config);
-    EXPECT_TRUE(result.succeeded) << ProtocolName(kind);
-    EXPECT_EQ(result.valid_count, 9u) << ProtocolName(kind);
+    EXPECT_TRUE(result.succeeded) << protocol;
+    EXPECT_EQ(result.valid_count, 9u) << protocol;
   }
 }
 
 TEST(ExperimentTest, FailureYieldsNanLatency) {
   ExperimentConfig config;
-  config.kind = ProtocolKind::kCurrent;
+  config.protocol = "current";
   config.relay_count = 800;
   torattack::AttackWindow attack;
   attack.targets = torattack::FirstTargets(5);
@@ -52,9 +51,18 @@ TEST(ExperimentTest, FailureYieldsNanLatency) {
   EXPECT_TRUE(std::isnan(result.finish_time_seconds));
 }
 
+TEST(ExperimentTest, ResultDefaultsToNanNotZero) {
+  // The header promises NaN latency/finish on failed runs; a default
+  // (unpopulated) result must not masquerade as a zero-latency success.
+  ExperimentResult result;
+  EXPECT_FALSE(result.succeeded);
+  EXPECT_TRUE(std::isnan(result.latency_seconds));
+  EXPECT_TRUE(std::isnan(result.finish_time_seconds));
+}
+
 TEST(ExperimentTest, DeterministicAcrossInvocations) {
   ExperimentConfig config;
-  config.kind = ProtocolKind::kIcps;
+  config.protocol = "icps";
   config.relay_count = 250;
   const auto a = RunExperiment(config);
   const auto b = RunExperiment(config);
@@ -66,9 +74,9 @@ TEST(ExperimentTest, DeterministicAcrossInvocations) {
 TEST(ExperimentTest, SynchronousMovesMoreBytesThanCurrent) {
   ExperimentConfig config;
   config.relay_count = 400;
-  config.kind = ProtocolKind::kCurrent;
+  config.protocol = "current";
   const auto current = RunExperiment(config);
-  config.kind = ProtocolKind::kSynchronous;
+  config.protocol = "synchronous";
   const auto sync = RunExperiment(config);
   // The packed-vote phase replicates every list n more times: ~5-9x traffic.
   EXPECT_GT(sync.total_bytes_sent, 4 * current.total_bytes_sent);
@@ -76,7 +84,7 @@ TEST(ExperimentTest, SynchronousMovesMoreBytesThanCurrent) {
 
 TEST(ExperimentTest, TwoPhaseAgreementIsFasterNeverSlower) {
   ExperimentConfig config;
-  config.kind = ProtocolKind::kIcps;
+  config.protocol = "icps";
   config.relay_count = 300;
   config.two_phase_agreement = false;
   const auto three_phase = RunExperiment(config);
@@ -90,7 +98,7 @@ TEST(ExperimentTest, TwoPhaseAgreementIsFasterNeverSlower) {
 TEST(ExperimentTest, SmallerAuthorityCountsWork) {
   for (uint32_t n : {4u, 7u, 13u}) {
     ExperimentConfig config;
-    config.kind = ProtocolKind::kIcps;
+    config.protocol = "icps";
     config.authority_count = n;
     config.relay_count = 150;
     const auto result = RunExperiment(config);
@@ -101,7 +109,7 @@ TEST(ExperimentTest, SmallerAuthorityCountsWork) {
 
 TEST(ExperimentTest, BandwidthRequirementBracketsAndIsMonotone) {
   ExperimentConfig config;
-  config.kind = ProtocolKind::kCurrent;
+  config.protocol = "current";
   config.run_limit = torbase::Minutes(15);
 
   config.relay_count = 800;
@@ -122,9 +130,9 @@ TEST(ExperimentTest, IcpsSucceedsWhereCurrentFails) {
   ExperimentConfig config;
   config.relay_count = 1000;
   config.bandwidth_bps = torsim::MegabitsPerSecond(1);
-  config.kind = ProtocolKind::kCurrent;
+  config.protocol = "current";
   EXPECT_FALSE(RunExperiment(config).succeeded);
-  config.kind = ProtocolKind::kIcps;
+  config.protocol = "icps";
   EXPECT_TRUE(RunExperiment(config).succeeded);
 }
 

@@ -184,7 +184,7 @@ class AttackMajorityProperty : public ::testing::TestWithParam<uint32_t> {};
 TEST_P(AttackMajorityProperty, AttackSucceedsIffMajorityTargeted) {
   const uint32_t victims = GetParam();
   tormetrics::ExperimentConfig config;
-  config.kind = tormetrics::ProtocolKind::kCurrent;
+  config.protocol = "current";
   config.relay_count = 800;
   torattack::AttackWindow window;
   window.targets = torattack::FirstTargets(victims);
@@ -211,7 +211,7 @@ class IcpsDefinitionProperty
 TEST_P(IcpsDefinitionProperty, TerminationAgreementAndCommonSetValidity) {
   const auto [relay_count, bandwidth_mbps] = GetParam();
   tormetrics::ExperimentConfig config;
-  config.kind = tormetrics::ProtocolKind::kIcps;
+  config.protocol = "icps";
   config.relay_count = relay_count;
   config.bandwidth_bps = bandwidth_mbps * 1e6;
   config.run_limit = torbase::Hours(2);

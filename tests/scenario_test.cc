@@ -1,0 +1,269 @@
+// Tests for the scenario engine (src/scenario) and the protocol registry
+// (src/protocols/directory_protocol.h): registry enumeration, declarative
+// rolling/adaptive attack scenarios, workload caching across sweep cells,
+// heterogeneous per-authority bandwidth, and churn events.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/attack/schedule.h"
+#include "src/protocols/directory_protocol.h"
+#include "src/scenario/runner.h"
+
+namespace torscenario {
+namespace {
+
+using torbase::Minutes;
+using torbase::Seconds;
+
+ScenarioSpec SmallSpec(const std::string& protocol) {
+  ScenarioSpec spec;
+  spec.name = "test";
+  spec.protocol = protocol;
+  spec.relay_count = 200;
+  spec.seed = 1;
+  return spec;
+}
+
+TEST(ProtocolRegistryTest, EnumeratesBuiltinsAndRunsEachUnattacked) {
+  const auto names = torproto::RegisteredProtocolNames();
+  ASSERT_GE(names.size(), 3u);
+  for (const char* expected : {"current", "icps", "synchronous"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end()) << expected;
+  }
+
+  // One small healthy scenario per registered protocol: all must succeed.
+  ScenarioRunner runner;
+  for (const auto& name : names) {
+    const auto result = runner.Run(SmallSpec(name));
+    EXPECT_TRUE(result.succeeded) << name;
+    EXPECT_EQ(result.valid_count, 9u) << name;
+    EXPECT_GT(result.consensus_relays, 190u) << name;
+  }
+  // All protocols shared one generated workload.
+  EXPECT_EQ(runner.workload_cache_misses(), 1u);
+  EXPECT_EQ(runner.workload_cache_hits(), names.size() - 1);
+}
+
+TEST(ProtocolRegistryTest, LookupAndDisplayNames) {
+  EXPECT_EQ(torproto::GetProtocol("icps").display_name(), "Ours");
+  EXPECT_EQ(torproto::GetProtocol("current").display_name(), "Current");
+  EXPECT_EQ(torproto::FindProtocol("no-such-protocol"), nullptr);
+}
+
+TEST(ScenarioRunnerTest, WorkloadCacheKeysOnRelaysSeedAndAuthorityCount) {
+  ScenarioRunner runner;
+  ScenarioSpec spec = SmallSpec("current");
+  runner.Run(spec);
+  EXPECT_EQ(runner.workload_cache_misses(), 1u);
+
+  spec.bandwidth_bps = 50e6;  // bandwidth is not part of the workload key
+  runner.Run(spec);
+  EXPECT_EQ(runner.workload_cache_misses(), 1u);
+  EXPECT_EQ(runner.workload_cache_hits(), 1u);
+
+  spec.seed = 2;  // a new seed is a new workload
+  runner.Run(spec);
+  EXPECT_EQ(runner.workload_cache_misses(), 2u);
+
+  spec.relay_count = 150;  // and so is a new relay count
+  runner.Run(spec);
+  EXPECT_EQ(runner.workload_cache_misses(), 3u);
+  EXPECT_EQ(runner.workload_cache_size(), 3u);
+}
+
+TEST(ScenarioRunnerTest, CachedWorkloadRunsMatchFreshRuns) {
+  // Reusing the cached votes must not change results: actors get copies.
+  ScenarioSpec spec = SmallSpec("icps");
+  ScenarioRunner shared;
+  const auto first = shared.Run(spec);
+  const auto second = shared.Run(spec);
+  ScenarioRunner fresh;
+  const auto baseline = fresh.Run(spec);
+  EXPECT_EQ(first.succeeded, baseline.succeeded);
+  EXPECT_DOUBLE_EQ(first.latency_seconds, baseline.latency_seconds);
+  EXPECT_EQ(first.total_bytes_sent, baseline.total_bytes_sent);
+  EXPECT_DOUBLE_EQ(second.latency_seconds, baseline.latency_seconds);
+  EXPECT_EQ(second.total_bytes_sent, baseline.total_bytes_sent);
+}
+
+TEST(ScenarioTest, RollingAttackScenarioIsDeterministic) {
+  torattack::RollingAttackConfig attack_config;
+  attack_config.victim_count = 5;
+  attack_config.period = Minutes(1);
+  attack_config.start = 0;
+  attack_config.end = Minutes(5);
+
+  ScenarioSpec spec = SmallSpec("current");
+  spec.relay_count = 400;
+  spec.attack = std::make_shared<torattack::RollingAttack>(attack_config);
+  spec.horizon = torbase::Hours(1);
+
+  ScenarioRunner runner;
+  const auto first = runner.Run(spec);
+  const auto second = runner.Run(spec);
+
+  // Same victim sequence, same outcome, run after run.
+  ASSERT_EQ(first.attack_history.size(), 5u);
+  EXPECT_EQ(first.attack_history, second.attack_history);
+  EXPECT_EQ(first.succeeded, second.succeeded);
+  EXPECT_EQ(first.total_bytes_sent, second.total_bytes_sent);
+  // Epoch k floods authorities k..k+4 (mod 9).
+  EXPECT_EQ(first.attack_history[2].victims,
+            (std::vector<torbase::NodeId>{2, 3, 4, 5, 6}));
+}
+
+TEST(ScenarioTest, AdaptiveLeaderScenarioIsDeterministicAndRecordsVictims) {
+  torattack::AdaptiveLeaderConfig attack_config;
+  attack_config.victim_count = 1;
+  attack_config.period = Seconds(30);
+  attack_config.start = 0;
+  attack_config.end = Minutes(10);
+
+  ScenarioSpec spec = SmallSpec("icps");
+  spec.relay_count = 300;
+  spec.attack = std::make_shared<torattack::AdaptiveLeaderAttack>(attack_config);
+  spec.horizon = torbase::Hours(1);
+
+  ScenarioRunner runner;
+  const auto first = runner.Run(spec);
+  const auto second = runner.Run(spec);
+
+  EXPECT_FALSE(first.attack_history.empty());
+  EXPECT_EQ(first.attack_history, second.attack_history);
+  EXPECT_EQ(first.succeeded, second.succeeded);
+  EXPECT_EQ(first.total_bytes_sent, second.total_bytes_sent);
+  for (const auto& sample : first.attack_history) {
+    ASSERT_EQ(sample.victims.size(), 1u);
+    EXPECT_LT(sample.victims[0], spec.authority_count);
+  }
+  // Flooding one authority at a time never blocks ICPS (f = 2): it finishes.
+  EXPECT_TRUE(first.succeeded);
+}
+
+TEST(ScenarioTest, HeterogeneousBandwidthStarvesOnlyTheSlowAuthorities) {
+  // 5 of 9 authorities on links far below the Figure-7 requirement: the
+  // current protocol fails, even though the network-wide default is ample.
+  ScenarioSpec spec = SmallSpec("current");
+  spec.relay_count = 800;
+  spec.horizon = Minutes(15);
+  for (torbase::NodeId node = 0; node < 5; ++node) {
+    spec.bandwidth_by_authority[node] = torattack::kUnderAttackBps;
+  }
+  ScenarioRunner runner;
+  EXPECT_FALSE(runner.Run(spec).succeeded);
+
+  // Fast links for the same 5: healthy again.
+  for (torbase::NodeId node = 0; node < 5; ++node) {
+    spec.bandwidth_by_authority[node] = 250e6;
+  }
+  EXPECT_TRUE(runner.Run(spec).succeeded);
+}
+
+TEST(ScenarioTest, ChurnCrashMinorityIsToleratedMajorityIsNot) {
+  ScenarioRunner runner;
+
+  // ICPS tolerates f = 2 crashes: one authority dead from the start is
+  // survivable — the other 8 proceed with n - f documents after Δ.
+  ScenarioSpec icps = SmallSpec("icps");
+  icps.churn.push_back({/*node=*/8, /*at=*/0, ChurnEvent::Kind::kCrash});
+  const auto tolerated = runner.Run(icps);
+  EXPECT_TRUE(tolerated.succeeded);
+  EXPECT_EQ(tolerated.valid_count, 8u);  // the dead authority cannot finish
+
+  // The current protocol cannot compute a consensus when a majority crashes
+  // before the vote exchange.
+  ScenarioSpec current = SmallSpec("current");
+  current.relay_count = 400;
+  current.horizon = Minutes(15);
+  for (torbase::NodeId node = 0; node < 5; ++node) {
+    current.churn.push_back({node, Seconds(1), ChurnEvent::Kind::kCrash});
+  }
+  EXPECT_FALSE(runner.Run(current).succeeded);
+}
+
+TEST(ScenarioTest, CrashedNodeStaysDownWhenAnAttackWindowEnds) {
+  // A crash mid attack-window must not be undone by the window's restore
+  // point: the node is dead, not merely clamped.
+  torattack::AttackWindow window;
+  window.targets = {8};
+  window.start = 0;
+  window.end = Minutes(5);
+  window.available_bps = torattack::kUnderAttackBps;
+
+  ScenarioSpec spec = SmallSpec("icps");
+  spec.attack = std::make_shared<torattack::WindowedAttack>(
+      std::vector<torattack::AttackWindow>{window});
+  spec.churn.push_back({/*node=*/8, /*at=*/Seconds(5), ChurnEvent::Kind::kCrash});
+
+  ScenarioRunner runner;
+  const auto result = runner.Run(spec);
+  // The other 8 finish; the crashed authority never does, even though its
+  // attack window expired at t=5min.
+  EXPECT_TRUE(result.succeeded);
+  EXPECT_EQ(result.valid_count, 8u);
+}
+
+TEST(ScenarioTest, ChurnRecoverRestoresTheConfiguredRate) {
+  // Crash-then-recover is exactly the Figure 11 shape: ICPS finishes shortly
+  // after the crashed majority returns.
+  ScenarioSpec spec = SmallSpec("icps");
+  spec.relay_count = 300;
+  for (torbase::NodeId node = 0; node < 5; ++node) {
+    spec.churn.push_back({node, 0, ChurnEvent::Kind::kCrash});
+    spec.churn.push_back({node, Minutes(5), ChurnEvent::Kind::kRecover});
+  }
+  ScenarioRunner runner;
+  const auto result = runner.Run(spec);
+  EXPECT_TRUE(result.succeeded);
+  EXPECT_GT(result.finish_time_seconds, torbase::ToSeconds(Minutes(5)));
+}
+
+TEST(ScenarioTest, SweepRunsEveryCellInOrder) {
+  std::vector<ScenarioSpec> specs;
+  for (const char* protocol : {"current", "icps"}) {
+    for (double bw_mbps : {50.0, 10.0}) {
+      ScenarioSpec spec = SmallSpec(protocol);
+      spec.bandwidth_bps = bw_mbps * 1e6;
+      specs.push_back(std::move(spec));
+    }
+  }
+  ScenarioRunner runner;
+  const auto results = runner.Sweep(specs);
+  ASSERT_EQ(results.size(), specs.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].succeeded) << i;
+  }
+  EXPECT_EQ(runner.workload_cache_misses(), 1u);
+  EXPECT_EQ(runner.workload_cache_hits(), specs.size() - 1);
+}
+
+// A protocol registered from outside the built-ins participates in dispatch:
+// the registry is genuinely pluggable, not a closed enum in disguise.
+class RenamedIcps : public torproto::DirectoryProtocol {
+ public:
+  std::string_view name() const override { return "icps-alias"; }
+  std::string_view display_name() const override { return "Ours (alias)"; }
+  std::unique_ptr<torsim::Actor> MakeAuthority(const torproto::ProtocolRunConfig& config,
+                                               const torcrypto::KeyDirectory* directory,
+                                               torbase::NodeId id,
+                                               tordir::VoteDocument vote) const override {
+    return torproto::GetProtocol("icps").MakeAuthority(config, directory, id, std::move(vote));
+  }
+  torproto::UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const override {
+    return torproto::GetProtocol("icps").ProbeOutcome(actor);
+  }
+};
+
+TEST(ProtocolRegistryTest, DownstreamRegistrationIsDispatchable) {
+  torproto::RegisterProtocol(std::make_unique<RenamedIcps>());
+  ScenarioRunner runner;
+  const auto result = runner.Run(SmallSpec("icps-alias"));
+  EXPECT_TRUE(result.succeeded);
+  EXPECT_EQ(result.valid_count, 9u);
+}
+
+}  // namespace
+}  // namespace torscenario

@@ -104,6 +104,50 @@ TEST(SimulatorTest, RunWithLimit) {
   EXPECT_EQ(count, 3);
 }
 
+TEST(SimulatorTest, PendingCountNeverUnderflows) {
+  // pending_count() is queue size minus cancellations; interleaving
+  // cancellations with partial drains must never wrap the unsigned
+  // subtraction (the count is monotone-sane even in pathological orders).
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (TimePoint t : {10u, 20u, 30u, 40u}) {
+    ids.push_back(sim.ScheduleAt(t, [] {}));
+  }
+  EXPECT_EQ(sim.pending_count(), 4u);
+  sim.Cancel(ids[1]);
+  sim.Cancel(ids[3]);
+  EXPECT_EQ(sim.pending_count(), 2u);
+  // Cancelling twice, or cancelling unknown ids, changes nothing.
+  sim.Cancel(ids[1]);
+  sim.Cancel(987654);
+  EXPECT_EQ(sim.pending_count(), 2u);
+
+  sim.RunUntil(25);  // drains 10 (live) and the cancelled 20
+  EXPECT_EQ(sim.pending_count(), 1u);
+  EXPECT_LT(sim.pending_count(), 1u << 20) << "unsigned underflow";
+
+  // Cancel-from-within-a-handler while the queue drains.
+  EventId last = sim.ScheduleAt(50, [] {});
+  sim.ScheduleAt(45, [&] { sim.Cancel(last); });
+  sim.Run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+  EXPECT_EQ(sim.now(), 45u);
+}
+
+TEST(SimulatorTest, PendingCountSaneAfterFullDrainWithManyCancels) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 32; ++i) {
+    ids.push_back(sim.ScheduleAt(static_cast<TimePoint>(i), [] {}));
+  }
+  for (size_t i = 0; i < ids.size(); i += 2) {
+    sim.Cancel(ids[i]);
+  }
+  EXPECT_EQ(sim.pending_count(), 16u);
+  sim.Run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
 TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
   Simulator sim;
   int depth = 0;
@@ -350,6 +394,49 @@ TEST(NetworkTest, TransferStalledByAttackWindowResumesAfterIt) {
   sim.Run();
   // Egress starts moving at t=5 s, takes 8000 us; ingress another 8000 us.
   EXPECT_EQ(delivered_at, Seconds(5) + 16000);
+}
+
+TEST(NetworkTest, MidRunLimitNodeSlowsInFlightTransfer) {
+  // Dynamic attack schedules clamp NICs while transfers are draining; the NIC
+  // must re-derive the completion time instead of honouring the stale one.
+  Simulator sim;
+  Network net(&sim, SmallNetConfig(2, BitsPerSecond(1e6), Millis(0)));
+  TimePoint delivered_at = 0;
+  net.SetHandler(1, [&](NodeId, const Bytes&) { delivered_at = sim.now(); });
+  net.Send(0, 1, "X", Bytes(1936, 0));  // 16000 bits: egress alone takes 16 ms
+
+  // At t=8 ms (half drained), clamp node 0 to a tenth of the rate for 1 s.
+  sim.ScheduleAt(8000, [&] { net.LimitNode(0, 8000, Seconds(1) + 8000, BitsPerSecond(1e5)); });
+  sim.Run();
+  // Egress: 8000 bits at 1 Mbit/s (8 ms) + 8000 bits at 0.1 Mbit/s (80 ms),
+  // then ingress at the unclamped 1 Mbit/s (16 ms).
+  EXPECT_EQ(delivered_at, 8000u + 80000u + 16000u);
+}
+
+TEST(NetworkTest, MidRunLimitLiftsWhenWindowEnds) {
+  Simulator sim;
+  Network net(&sim, SmallNetConfig(2, BitsPerSecond(1e6), Millis(0)));
+  TimePoint delivered_at = 0;
+  net.SetHandler(1, [&](NodeId, const Bytes&) { delivered_at = sim.now(); });
+  net.Send(0, 1, "X", Bytes(1936, 0));  // 16000 bits
+  // Clamp to zero for [8 ms, 1 s): the transfer stalls, then resumes.
+  sim.ScheduleAt(8000, [&] { net.LimitNode(0, 8000, Seconds(1), 0.0); });
+  sim.Run();
+  // 8 ms draining + stall until 1 s + remaining 8000 bits (8 ms) + ingress.
+  EXPECT_EQ(delivered_at, Seconds(1) + 8000u + 16000u);
+}
+
+TEST(NetworkTest, SetNodeRateFromCrashesAndRecovers) {
+  Simulator sim;
+  Network net(&sim, SmallNetConfig(2, BitsPerSecond(1e6), Millis(0)));
+  TimePoint delivered_at = 0;
+  net.SetHandler(1, [&](NodeId, const Bytes&) { delivered_at = sim.now(); });
+  // Crash node 0 from t=0; recover at t=2 s (installed before the run).
+  net.SetNodeRateFrom(0, 0, 0.0);
+  net.SetNodeRateFrom(0, Seconds(2), BitsPerSecond(1e6));
+  net.Send(0, 1, "X", Bytes(936, 0));  // 8000 bits
+  sim.Run();
+  EXPECT_EQ(delivered_at, Seconds(2) + 8000u + 8000u);
 }
 
 // A ping-pong actor pair exercising the harness wiring.
