@@ -1,17 +1,78 @@
-// Micro-benchmarks (google-benchmark) for the substrate hot paths: SHA-256,
-// HMAC signatures, dir-spec serialization/parsing and the Figure-2 aggregation
-// algorithm. These are the operations that dominate the wall-clock cost of the
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: the
+// simulator's per-event schedule/cancel/fire path, SHA-256, HMAC signatures,
+// dir-spec serialization/parsing and the Figure-2 aggregation algorithm.
+// These are the operations that dominate the wall-clock cost of the
 // experiment harness.
 #include <benchmark/benchmark.h>
 
 #include "src/crypto/hmac.h"
 #include "src/crypto/sha256.h"
 #include "src/crypto/signature.h"
+#include "src/sim/event_probe.h"
+#include "src/sim/simulator.h"
 #include "src/tordir/aggregate.h"
 #include "src/tordir/dirspec.h"
 #include "src/tordir/generator.h"
 
 namespace {
+
+// Per-event benches use the shared probe scaffolding (src/sim/event_probe.h):
+// 48-byte captures modelled on the network delivery stages. Regressions that
+// push the callback to the heap (or reintroduce per-event hash-map traffic)
+// show up here directly.
+void BM_EventScheduleFire(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  torsim::Simulator sim;
+  uint64_t fired = 0;
+  torsim::WarmUpProbe(sim, batch, &fired);
+  for (auto _ : state) {
+    torsim::ScheduleProbeBatch(sim, batch, &fired);
+    sim.Run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_EventScheduleFire)->Arg(16)->Arg(64)->Arg(1024);
+
+void BM_EventScheduleCancel(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  torsim::Simulator sim;
+  uint64_t fired = 0;
+  torsim::ScheduleCancelProbeBatch(sim, batch, &fired);
+  sim.Run();
+  for (auto _ : state) {
+    torsim::ScheduleCancelProbeBatch(sim, batch, &fired);
+    sim.Run();  // drains the tombstones
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_EventScheduleCancel)->Arg(16)->Arg(64)->Arg(1024);
+
+void BM_EventSelfRescheduleChain(benchmark::State& state) {
+  // The SharedNic pattern: one live event that keeps rescheduling itself —
+  // the minimal schedule->fire round trip at heap depth 1.
+  constexpr uint64_t kHops = 1024;
+  struct Chain {
+    torsim::Simulator* sim;
+    uint64_t remaining;
+    void operator()() {
+      if (remaining > 0) {
+        --remaining;
+        sim->ScheduleAfter(1, *this);
+      }
+    }
+  };
+  torsim::Simulator sim;
+  for (auto _ : state) {
+    sim.ScheduleAfter(1, Chain{&sim, kHops});
+    sim.Run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kHops + 1));
+}
+BENCHMARK(BM_EventSelfRescheduleChain);
+
 
 void BM_Sha256(benchmark::State& state) {
   const std::vector<uint8_t> data(static_cast<size_t>(state.range(0)), 0xab);

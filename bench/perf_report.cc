@@ -1,0 +1,198 @@
+// Performance report: times a representative fig7-style sweep grid serially
+// vs. on N threads, micro-times the simulator's per-event hot path, counts
+// heap allocations per event (the whole binary routes allocations through a
+// counting operator new), verifies that parallel results are bit-identical to
+// serial, and writes everything to BENCH_sweep.json — the measurement that
+// seeds the repo's performance trajectory.
+//
+// Usage: perf_report [--quick] [--threads N] [--out PATH]
+//   --quick      small grid for CI smoke runs
+//   --threads N  parallel worker count (default: hardware concurrency)
+//   --out PATH   JSON output path (default: BENCH_sweep.json)
+//
+// Exit code is non-zero if parallel results diverge from serial.
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/attack/ddos.h"
+#include "src/attack/schedule.h"
+#include "src/common/counting_allocator.h"
+#include "src/common/thread_pool.h"
+#include "src/scenario/runner.h"
+#include "src/sim/event_probe.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+using torbase::counting_allocator::AllocationCount;
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// The fig7 shape: the current protocol with 5 of 9 authorities clamped to a
+// fixed per-victim bandwidth for the whole run, across relay counts — each
+// (relays, clamp) pair one independent deterministic cell.
+std::vector<torscenario::ScenarioSpec> Fig7StyleGrid(bool quick) {
+  const std::vector<size_t> relay_counts =
+      quick ? std::vector<size_t>{400, 800} : std::vector<size_t>{800, 1600, 2400, 3200};
+  const std::vector<double> victim_mbps =
+      quick ? std::vector<double>{0.5, 8.0, 25.0}
+            : std::vector<double>{0.5, 2.0, 4.0, 8.0, 16.0, 25.0};
+
+  std::vector<torscenario::ScenarioSpec> specs;
+  for (size_t relays : relay_counts) {
+    for (double mbps : victim_mbps) {
+      torattack::AttackWindow window;
+      window.targets = torattack::FirstTargets(5);
+      window.start = 0;
+      window.end = torbase::Minutes(15);
+      window.available_bps = mbps * 1e6;
+
+      torscenario::ScenarioSpec spec;
+      spec.name = "perf_report";
+      spec.protocol = "current";
+      spec.relay_count = relays;
+      spec.horizon = torbase::Minutes(15);
+      spec.attack = std::make_shared<torattack::WindowedAttack>(
+          std::vector<torattack::AttackWindow>{window});
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+struct EventMicro {
+  double schedule_fire_ns = 0.0;
+  double schedule_cancel_ns = 0.0;
+  double allocations_per_event = 0.0;
+};
+
+// Schedule/fire and schedule/cancel throughput with a capture that fills most
+// of SimCallback's inline buffer (src/sim/event_probe.h), after warming the
+// heap and slot arena.
+EventMicro MeasureEventPath() {
+  torsim::Simulator sim;
+  uint64_t fired = 0;
+  constexpr size_t kBatch = 64;
+  constexpr size_t kRounds = 4000;
+  torsim::WarmUpProbe(sim, kBatch, &fired);
+
+  EventMicro micro;
+  {
+    const uint64_t allocs_before = AllocationCount();
+    const auto start = Clock::now();
+    for (size_t round = 0; round < kRounds; ++round) {
+      torsim::ScheduleProbeBatch(sim, kBatch, &fired);
+      sim.Run();
+    }
+    const double elapsed = SecondsSince(start);
+    const double events = static_cast<double>(kBatch * kRounds);
+    micro.schedule_fire_ns = elapsed / events * 1e9;
+    micro.allocations_per_event =
+        static_cast<double>(AllocationCount() - allocs_before) / events;
+  }
+  {
+    const auto start = Clock::now();
+    for (size_t round = 0; round < kRounds; ++round) {
+      torsim::ScheduleCancelProbeBatch(sim, kBatch, &fired);
+      sim.Run();
+    }
+    micro.schedule_cancel_ns = SecondsSince(start) / static_cast<double>(kBatch * kRounds) * 1e9;
+  }
+  return micro;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  unsigned threads = torbase::ThreadPool::DefaultThreads();
+  std::string out_path = "BENCH_sweep.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--threads N] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (threads == 0) {
+    threads = 1;
+  }
+
+  const auto specs = Fig7StyleGrid(quick);
+  std::printf("=== perf_report: %zu-cell fig7-style sweep, serial vs %u thread(s) ===\n\n",
+              specs.size(), threads);
+
+  std::printf("per-event micro (64-cell batches, 48-byte captures)...\n");
+  const EventMicro micro = MeasureEventPath();
+  std::printf("  schedule->fire  : %7.1f ns/event\n", micro.schedule_fire_ns);
+  std::printf("  schedule->cancel: %7.1f ns/event\n", micro.schedule_cancel_ns);
+  std::printf("  allocations     : %7.3f per event\n\n", micro.allocations_per_event);
+
+  std::printf("serial sweep...\n");
+  torscenario::ScenarioRunner serial_runner;
+  const auto serial_start = Clock::now();
+  const auto serial_results = serial_runner.Sweep(specs);
+  const double serial_seconds = SecondsSince(serial_start);
+  std::printf("  %.2f s (%zu workload generations)\n", serial_seconds,
+              serial_runner.workload_cache_misses());
+
+  std::printf("parallel sweep (%u threads)...\n", threads);
+  torscenario::ScenarioRunner parallel_runner;
+  const auto parallel_start = Clock::now();
+  const auto parallel_results = parallel_runner.Sweep(specs, torscenario::SweepOptions{threads});
+  const double parallel_seconds = SecondsSince(parallel_start);
+  std::printf("  %.2f s\n", parallel_seconds);
+
+  bool identical = serial_results.size() == parallel_results.size();
+  for (size_t i = 0; identical && i < serial_results.size(); ++i) {
+    identical = torscenario::BitIdentical(serial_results[i], parallel_results[i]);
+  }
+  const double speedup = parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  std::printf("  speedup %.2fx, results %s\n\n", speedup,
+              identical ? "bit-identical" : "DIVERGED");
+
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"bench\": \"perf_report\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"grid_cells\": " << specs.size() << ",\n"
+       << "  \"hardware_concurrency\": " << torbase::ThreadPool::DefaultThreads() << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"serial_seconds\": " << serial_seconds << ",\n"
+       << "  \"parallel_seconds\": " << parallel_seconds << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"parallel_identical_to_serial\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"event_schedule_fire_ns\": " << micro.schedule_fire_ns << ",\n"
+       << "  \"event_schedule_cancel_ns\": " << micro.schedule_cancel_ns << ",\n"
+       << "  \"event_allocations_per_event\": " << micro.allocations_per_event << "\n"
+       << "}\n";
+  json.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr, "REGRESSION: parallel sweep diverged from serial\n");
+    return 1;
+  }
+  if (micro.allocations_per_event > 0.0) {
+    std::fprintf(stderr, "REGRESSION: event hot path allocates (%f per event)\n",
+                 micro.allocations_per_event);
+    return 1;
+  }
+  return 0;
+}

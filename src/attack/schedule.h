@@ -20,6 +20,7 @@
 #define SRC_ATTACK_SCHEDULE_H_
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -62,6 +63,11 @@ class AttackSchedule {
   // only instants at or after harness.sim().now().
   virtual void Install(torsim::Harness& harness, const AttackContext& context) = 0;
 
+  // A fresh copy of this schedule's configuration with empty history. The
+  // parallel sweep clones the spec's schedule per cell so concurrent cells
+  // never share the mutable install/history state.
+  virtual std::shared_ptr<AttackSchedule> Clone() const = 0;
+
   // Victim history of the most recent run (cleared by the runner on install).
   const std::vector<AttackSample>& history() const { return history_; }
   void ClearHistory() { history_.clear(); }
@@ -82,6 +88,9 @@ class WindowedAttack : public AttackSchedule {
 
   std::string_view name() const override { return "windowed"; }
   void Install(torsim::Harness& harness, const AttackContext& context) override;
+  std::shared_ptr<AttackSchedule> Clone() const override {
+    return std::make_shared<WindowedAttack>(windows_);
+  }
 
   std::vector<AttackWindow>& windows() { return windows_; }
 
@@ -112,6 +121,9 @@ class RollingAttack : public AttackSchedule {
 
   std::string_view name() const override { return "rolling"; }
   void Install(torsim::Harness& harness, const AttackContext& context) override;
+  std::shared_ptr<AttackSchedule> Clone() const override {
+    return std::make_shared<RollingAttack>(config_);
+  }
 
   // The victim set of epoch `epoch` among `authority_count` authorities —
   // exposed so tests can assert the exact deterministic sequence.
@@ -139,6 +151,9 @@ class AdaptiveLeaderAttack : public AttackSchedule {
 
   std::string_view name() const override { return "adaptive-leader"; }
   void Install(torsim::Harness& harness, const AttackContext& context) override;
+  std::shared_ptr<AttackSchedule> Clone() const override {
+    return std::make_shared<AdaptiveLeaderAttack>(config_);
+  }
 
  private:
   void Retarget(torsim::Harness& harness, const AttackContext& context, uint64_t epoch,

@@ -1,0 +1,146 @@
+// A move-only callable wrapper with a small-buffer optimisation, built for the
+// simulator's event hot path: a scheduled callback whose captures fit the
+// inline buffer costs zero heap allocations to store, move and destroy.
+// std::function cannot give that guarantee (its SBO is implementation-defined
+// and tiny, and it requires copyable targets); InlineFunction makes the buffer
+// size an explicit contract and accepts move-only captures.
+//
+// Targets larger than the buffer (or over-aligned ones) transparently fall
+// back to a heap allocation, so correctness never depends on capture size —
+// only performance does. `is_inline()` exposes which path a target took so
+// tests and benches can pin the zero-allocation property.
+#ifndef SRC_COMMON_INLINE_FUNCTION_H_
+#define SRC_COMMON_INLINE_FUNCTION_H_
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace torbase {
+
+template <typename Signature, size_t BufferSize = 64>
+class InlineFunction;
+
+template <typename R, typename... Args, size_t BufferSize>
+class InlineFunction<R(Args...), BufferSize> {
+ public:
+  static constexpr size_t kBufferSize = BufferSize;
+  static_assert(BufferSize >= sizeof(void*), "buffer must hold at least a pointer");
+
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  // Wraps any callable. Intentionally implicit, mirroring std::function, so
+  // call sites keep passing lambdas directly.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Target = std::decay_t<F>;
+    if constexpr (kFitsInline<Target>) {
+      ::new (static_cast<void*>(buffer_)) Target(std::forward<F>(f));
+      vtable_ = &kInlineVTable<Target>;
+    } else {
+      ::new (static_cast<void*>(buffer_)) Target*(new Target(std::forward<F>(f)));
+      vtable_ = &kHeapVTable<Target>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(other.buffer_, buffer_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      vtable_ = other.vtable_;
+      if (vtable_ != nullptr) {
+        vtable_->relocate(other.buffer_, buffer_);
+        other.vtable_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  R operator()(Args... args) {
+    assert(vtable_ != nullptr && "invoked an empty InlineFunction");
+    return vtable_->invoke(buffer_, std::forward<Args>(args)...);
+  }
+
+  // True when the stored target lives in the inline buffer (no heap).
+  bool is_inline() const { return vtable_ != nullptr && vtable_->inline_storage; }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    // Move-constructs the target from `from` into `to` and destroys the
+    // source. For heap targets this just moves the owning pointer.
+    void (*relocate)(void* from, void* to);
+    void (*destroy)(void*);
+    bool inline_storage;
+  };
+
+  template <typename Target>
+  static constexpr bool kFitsInline = sizeof(Target) <= BufferSize &&
+                                      alignof(Target) <= alignof(std::max_align_t) &&
+                                      std::is_nothrow_move_constructible_v<Target>;
+
+  template <typename Target>
+  static constexpr VTable kInlineVTable = {
+      /*invoke=*/[](void* buf, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<Target*>(buf)))(std::forward<Args>(args)...);
+      },
+      /*relocate=*/[](void* from, void* to) {
+        Target* src = std::launder(reinterpret_cast<Target*>(from));
+        ::new (to) Target(std::move(*src));
+        src->~Target();
+      },
+      /*destroy=*/[](void* buf) { std::launder(reinterpret_cast<Target*>(buf))->~Target(); },
+      /*inline_storage=*/true,
+  };
+
+  template <typename Target>
+  static constexpr VTable kHeapVTable = {
+      /*invoke=*/[](void* buf, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<Target**>(buf)))(std::forward<Args>(args)...);
+      },
+      /*relocate=*/[](void* from, void* to) {
+        ::new (to) Target*(*std::launder(reinterpret_cast<Target**>(from)));
+      },
+      /*destroy=*/[](void* buf) { delete *std::launder(reinterpret_cast<Target**>(buf)); },
+      /*inline_storage=*/false,
+  };
+
+  void Reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buffer_);
+      vtable_ = nullptr;
+    }
+  }
+
+  const VTable* vtable_ = nullptr;
+  alignas(std::max_align_t) unsigned char buffer_[BufferSize];
+};
+
+}  // namespace torbase
+
+#endif  // SRC_COMMON_INLINE_FUNCTION_H_

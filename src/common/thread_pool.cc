@@ -1,0 +1,119 @@
+#include "src/common/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace torbase {
+
+unsigned ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = DefaultThreads();
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutting down and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  if (thread_count() <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+  // One claiming task per worker; indices handed out in order via an atomic
+  // cursor so a long cell doesn't strand the items queued behind it. A body
+  // that throws poisons the cursor (skipping unclaimed indices) and its
+  // exception is rethrown on the calling thread once in-flight bodies drain.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<State>();
+  const unsigned claimants = thread_count();
+  for (unsigned w = 0; w < claimants; ++w) {
+    Submit([state, n, &body] {
+      for (;;) {
+        const size_t i = state->next.fetch_add(1);
+        if (i >= n) {
+          return;
+        }
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->error_mutex);
+          if (!state->first_error) {
+            state->first_error = std::current_exception();
+          }
+          state->next.store(n);  // stop claiming further indices
+          return;
+        }
+      }
+    });
+  }
+  Wait();
+  if (state->first_error) {
+    std::rethrow_exception(state->first_error);
+  }
+}
+
+}  // namespace torbase

@@ -1,0 +1,74 @@
+// A small fixed-size thread pool with one shared FIFO queue (no work
+// stealing): workers block on a condition variable and pop tasks in submission
+// order. Built for the scenario engine's sweep grids — hundreds of independent
+//, seconds-long simulation cells — where a shared queue's contention is
+// negligible and the simplicity keeps the parallel path easy to reason about.
+//
+// Determinism contract: the pool only schedules; tasks must not share mutable
+// state (each sweep cell owns a private Simulator/Harness), so results are
+// independent of interleaving.
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace torbase {
+
+class ThreadPool {
+ public:
+  // `threads` == 0 picks the hardware concurrency. The workers start
+  // immediately and live until destruction.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Enqueues `task`. Tasks may submit further tasks, but must never call
+  // Wait()/ParallelFor() on their own pool — a worker blocking on the pool it
+  // runs in deadlocks once no other worker is free to drain the queue. Tasks
+  // must not throw — an exception escaping a raw submitted task terminates
+  // the process (use ParallelFor, which captures and rethrows, when the body
+  // can fail).
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task (including ones submitted while
+  // waiting) has finished. The in-flight count is pool-global: concurrent
+  // waiters from different call sites wait on each other's tasks too, so give
+  // independent subsystems their own pool instead of sharing one.
+  void Wait();
+
+  // Runs body(0..n-1), distributing indices over the pool, and returns when
+  // all are done. Indices are claimed atomically in order, so early indices
+  // start first; completion order is unspecified. With thread_count() == 1 the
+  // behaviour is exactly a serial loop. If any body throws, the first
+  // exception (by completion order) is rethrown here after all in-flight
+  // bodies finish; remaining unclaimed indices are skipped.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  // std::thread::hardware_concurrency with a floor of 1.
+  static unsigned DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace torbase
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

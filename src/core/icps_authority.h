@@ -79,8 +79,11 @@ struct IcpsOutcome {
 
 class IcpsAuthority : public torsim::Actor {
  public:
+  // `own_vote_text` is the serialized form of `own_vote`; pass it when already
+  // computed (the scenario runner caches it per workload), otherwise it is
+  // serialized here.
   IcpsAuthority(const IcpsConfig& config, const torcrypto::KeyDirectory* directory,
-                tordir::VoteDocument own_vote);
+                tordir::VoteDocument own_vote, std::string own_vote_text = {});
 
   void Start() override;
   void OnMessage(torbase::NodeId from, const torbase::Bytes& payload) override;

@@ -46,10 +46,15 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 
 double FindBandwidthRequirement(const ExperimentConfig& base, uint32_t victim_count, double lo_bps,
                                 double hi_bps, int probes) {
+  torscenario::ScenarioRunner runner;  // shared: one workload for all probes
+  return FindBandwidthRequirement(runner, base, victim_count, lo_bps, hi_bps, probes);
+}
+
+double FindBandwidthRequirement(torscenario::ScenarioRunner& runner, const ExperimentConfig& base,
+                                uint32_t victim_count, double lo_bps, double hi_bps, int probes) {
   // Invariant: the protocol fails at lo and succeeds at hi. If it already
   // succeeds at lo (tiny relay counts), report lo; if it fails even at hi,
   // report hi as a lower bound.
-  torscenario::ScenarioRunner runner;  // shared: one workload for all probes
   auto probe = [&](double bandwidth) {
     torscenario::ScenarioSpec spec = ToScenarioSpec(base);
     torattack::AttackWindow window;

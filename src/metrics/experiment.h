@@ -16,6 +16,10 @@
 #include "src/common/time.h"
 #include "src/scenario/scenario.h"
 
+namespace torscenario {
+class ScenarioRunner;
+}
+
 namespace tormetrics {
 
 struct ExperimentConfig {
@@ -70,6 +74,14 @@ ExperimentResult RunExperiment(const ExperimentConfig& config);
 // scenario runner, so the population/votes are generated once per search.
 double FindBandwidthRequirement(const ExperimentConfig& base, uint32_t victim_count, double lo_bps,
                                 double hi_bps, int probes = 7);
+
+// Same search against a caller-owned runner, so independent searches (fig7
+// runs one per relay count) can share a workload cache and execute
+// concurrently — GetWorkload is thread-safe. Each probe run still owns a
+// private simulator, so concurrent searches stay bit-identical to serial.
+double FindBandwidthRequirement(torscenario::ScenarioRunner& runner, const ExperimentConfig& base,
+                                uint32_t victim_count, double lo_bps, double hi_bps,
+                                int probes = 7);
 
 }  // namespace tormetrics
 

@@ -33,9 +33,11 @@ namespace torproto {
 class CurrentAuthority : public torsim::Actor {
  public:
   // `directory` must outlive the actor. The authority signs with the key for
-  // its node id.
+  // its node id. `own_vote_text` is the serialized form of `own_vote`; pass it
+  // when already computed (the scenario runner caches it per workload),
+  // otherwise it is serialized here.
   CurrentAuthority(const ProtocolConfig& config, const torcrypto::KeyDirectory* directory,
-                   tordir::VoteDocument own_vote);
+                   tordir::VoteDocument own_vote, std::string own_vote_text = {});
 
   void Start() override;
   void OnMessage(NodeId from, const torbase::Bytes& payload) override;

@@ -60,10 +60,13 @@ class DirectoryProtocol {
   virtual std::string_view display_name() const = 0;
 
   // Builds authority `id`'s actor. `directory` outlives the actor; `vote` is
-  // the authority's own vote document.
+  // the authority's own vote document and `vote_text` its serialized form
+  // (empty = serialize on demand). The scenario runner passes the cached
+  // serialization so sweep cells don't re-serialize multi-megabyte votes per
+  // authority per run.
   virtual std::unique_ptr<torsim::Actor> MakeAuthority(
       const ProtocolRunConfig& config, const torcrypto::KeyDirectory* directory,
-      torbase::NodeId id, tordir::VoteDocument vote) const = 0;
+      torbase::NodeId id, tordir::VoteDocument vote, std::string vote_text = {}) const = 0;
 
   // Reads the unified outcome back out of an actor this protocol created.
   virtual UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const = 0;

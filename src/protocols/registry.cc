@@ -22,11 +22,12 @@ class CurrentProtocol : public DirectoryProtocol {
 
   std::unique_ptr<torsim::Actor> MakeAuthority(const ProtocolRunConfig& config,
                                                const torcrypto::KeyDirectory* directory,
-                                               torbase::NodeId /*id*/,
-                                               tordir::VoteDocument vote) const override {
+                                               torbase::NodeId /*id*/, tordir::VoteDocument vote,
+                                               std::string vote_text) const override {
     ProtocolConfig proto_config;
     proto_config.authority_count = config.authority_count;
-    return std::make_unique<CurrentAuthority>(proto_config, directory, std::move(vote));
+    return std::make_unique<CurrentAuthority>(proto_config, directory, std::move(vote),
+                                              std::move(vote_text));
   }
 
   UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const override {
@@ -57,11 +58,12 @@ class SynchronousProtocol : public DirectoryProtocol {
 
   std::unique_ptr<torsim::Actor> MakeAuthority(const ProtocolRunConfig& config,
                                                const torcrypto::KeyDirectory* directory,
-                                               torbase::NodeId /*id*/,
-                                               tordir::VoteDocument vote) const override {
+                                               torbase::NodeId /*id*/, tordir::VoteDocument vote,
+                                               std::string vote_text) const override {
     ProtocolConfig proto_config;
     proto_config.authority_count = config.authority_count;
-    return std::make_unique<SyncAuthority>(proto_config, directory, std::move(vote));
+    return std::make_unique<SyncAuthority>(proto_config, directory, std::move(vote),
+                                           std::move(vote_text));
   }
 
   UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const override {
@@ -91,13 +93,14 @@ class IcpsProtocol : public DirectoryProtocol {
 
   std::unique_ptr<torsim::Actor> MakeAuthority(const ProtocolRunConfig& config,
                                                const torcrypto::KeyDirectory* directory,
-                                               torbase::NodeId /*id*/,
-                                               tordir::VoteDocument vote) const override {
+                                               torbase::NodeId /*id*/, tordir::VoteDocument vote,
+                                               std::string vote_text) const override {
     toricc::IcpsConfig icps_config;
     icps_config.SetAuthorityCount(config.authority_count);
     icps_config.dissemination_timeout = config.dissemination_timeout;
     icps_config.hotstuff.two_phase = config.two_phase_agreement;
-    return std::make_unique<toricc::IcpsAuthority>(icps_config, directory, std::move(vote));
+    return std::make_unique<toricc::IcpsAuthority>(icps_config, directory, std::move(vote),
+                                                   std::move(vote_text));
   }
 
   UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const override {

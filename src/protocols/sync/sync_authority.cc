@@ -17,12 +17,15 @@ constexpr const char* kKindSig = "SYNC_SIG";
 
 SyncAuthority::SyncAuthority(const ProtocolConfig& config,
                              const torcrypto::KeyDirectory* directory,
-                             tordir::VoteDocument own_vote)
+                             tordir::VoteDocument own_vote, std::string own_vote_text)
     : config_(config),
       directory_(directory),
       signer_(directory->SignerFor(own_vote.authority)),
-      own_vote_(std::move(own_vote)) {
-  own_vote_text_ = tordir::SerializeVote(own_vote_);
+      own_vote_(std::move(own_vote)),
+      own_vote_text_(std::move(own_vote_text)) {
+  if (own_vote_text_.empty()) {
+    own_vote_text_ = tordir::SerializeVote(own_vote_);
+  }
 }
 
 void SyncAuthority::Start() {

@@ -55,8 +55,11 @@ struct SyncOutcome {
 
 class SyncAuthority : public torsim::Actor {
  public:
+  // `own_vote_text` is the serialized form of `own_vote`; pass it when already
+  // computed (the scenario runner caches it per workload), otherwise it is
+  // serialized here.
   SyncAuthority(const ProtocolConfig& config, const torcrypto::KeyDirectory* directory,
-                tordir::VoteDocument own_vote);
+                tordir::VoteDocument own_vote, std::string own_vote_text = {});
 
   void Start() override;
   void OnMessage(NodeId from, const torbase::Bytes& payload) override;

@@ -4,7 +4,9 @@
 #include <optional>
 #include <utility>
 
+#include "src/common/thread_pool.h"
 #include "src/protocols/directory_protocol.h"
+#include "src/tordir/dirspec.h"
 
 namespace torscenario {
 namespace {
@@ -23,12 +25,21 @@ double NodeRate(const ScenarioSpec& spec, torbase::NodeId node) {
 std::shared_ptr<const ScenarioRunner::Workload> ScenarioRunner::GetWorkload(
     const ScenarioSpec& spec) {
   const WorkloadKey key{spec.relay_count, spec.seed, spec.authority_count};
-  const auto it = workloads_.find(key);
-  if (it != workloads_.end()) {
-    ++cache_hits_;
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(workloads_mutex_);
+    const auto it = workloads_.find(key);
+    if (it != workloads_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+    ++cache_misses_;
   }
-  ++cache_misses_;
+  // Generate outside the lock: workload construction is seconds of CPU at
+  // large relay counts and depends only on the key. Distinct keys generate
+  // concurrently; the same key can only be generated twice if two threads
+  // miss on it at once, which the parallel sweep's serial pre-materialization
+  // rules out (and which would only waste work, never corrupt: last insert
+  // wins and both copies are equivalent).
   tordir::PopulationConfig pop_config;
   pop_config.relay_count = spec.relay_count;
   pop_config.seed = spec.seed;
@@ -36,15 +47,45 @@ std::shared_ptr<const ScenarioRunner::Workload> ScenarioRunner::GetWorkload(
   workload->population = tordir::GeneratePopulation(pop_config);
   workload->votes =
       tordir::MakeAllVotes(spec.authority_count, workload->population, pop_config);
+  workload->vote_texts.reserve(workload->votes.size());
+  for (const tordir::VoteDocument& vote : workload->votes) {
+    workload->vote_texts.push_back(tordir::SerializeVote(vote));
+  }
+  std::lock_guard<std::mutex> lock(workloads_mutex_);
   workloads_[key] = workload;
   return workload;
+}
+
+size_t ScenarioRunner::workload_cache_hits() const {
+  std::lock_guard<std::mutex> lock(workloads_mutex_);
+  return cache_hits_;
+}
+
+size_t ScenarioRunner::workload_cache_misses() const {
+  std::lock_guard<std::mutex> lock(workloads_mutex_);
+  return cache_misses_;
+}
+
+size_t ScenarioRunner::workload_cache_size() const {
+  std::lock_guard<std::mutex> lock(workloads_mutex_);
+  return workloads_.size();
+}
+
+void ScenarioRunner::ClearWorkloadCache() {
+  std::lock_guard<std::mutex> lock(workloads_mutex_);
+  workloads_.clear();
 }
 
 ScenarioResult ScenarioRunner::Run(const ScenarioSpec& spec) { return Run(spec, InspectFn()); }
 
 ScenarioResult ScenarioRunner::Run(const ScenarioSpec& spec, const InspectFn& inspect) {
-  const torproto::DirectoryProtocol& protocol = torproto::GetProtocol(spec.protocol);
   const std::shared_ptr<const Workload> workload = GetWorkload(spec);
+  return RunWithWorkload(spec, *workload, inspect);
+}
+
+ScenarioResult ScenarioRunner::RunWithWorkload(const ScenarioSpec& spec, const Workload& workload,
+                                               const InspectFn& inspect) const {
+  const torproto::DirectoryProtocol& protocol = torproto::GetProtocol(spec.protocol);
 
   torcrypto::KeyDirectory directory(kKeyDirectorySeed, spec.authority_count);
 
@@ -65,10 +106,10 @@ ScenarioResult ScenarioRunner::Run(const ScenarioSpec& spec, const InspectFn& in
   std::vector<torsim::Actor*> actors;
   actors.reserve(spec.authority_count);
   for (uint32_t a = 0; a < spec.authority_count; ++a) {
-    // Copy the cached vote: the actor consumes its document, the workload is
-    // shared across runs.
-    actors.push_back(
-        harness.AddActor(protocol.MakeAuthority(run_config, &directory, a, workload->votes[a])));
+    // Copy the cached vote and its serialized bytes: the actor consumes its
+    // document, the workload is shared across runs.
+    actors.push_back(harness.AddActor(protocol.MakeAuthority(
+        run_config, &directory, a, workload.votes[a], workload.vote_texts[a])));
   }
 
   torattack::AttackContext attack_context;
@@ -149,6 +190,45 @@ std::vector<ScenarioResult> ScenarioRunner::Sweep(const std::vector<ScenarioSpec
   for (const ScenarioSpec& spec : specs) {
     results.push_back(Run(spec));
   }
+  return results;
+}
+
+std::vector<ScenarioResult> ScenarioRunner::Sweep(const std::vector<ScenarioSpec>& specs,
+                                                  const SweepOptions& options) {
+  // No point spinning up more workers than cells.
+  const unsigned threads = std::min<unsigned>(
+      options.threads == 0 ? torbase::ThreadPool::DefaultThreads() : options.threads,
+      static_cast<unsigned>(specs.size()));
+  if (threads <= 1 || specs.size() <= 1) {
+    return Sweep(specs);
+  }
+
+  // Pre-materialize workloads serially, in spec order: telemetry counts
+  // exactly one GetWorkload per cell — the same hits/misses a serial sweep
+  // records — and the parallel phase below never touches the cache.
+  std::vector<std::shared_ptr<const Workload>> workloads;
+  workloads.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) {
+    workloads.push_back(GetWorkload(spec));
+  }
+
+  // Each cell gets a private copy of the spec with a cloned attack schedule:
+  // specs may share one schedule object (cheap for serial sweeps), but
+  // Install/history are mutable per-run state that concurrent cells must not
+  // share. Results stay bit-identical — a clone runs exactly as the original
+  // would after its per-run ClearHistory().
+  std::vector<ScenarioSpec> cells(specs.begin(), specs.end());
+  for (ScenarioSpec& cell : cells) {
+    if (cell.attack != nullptr) {
+      cell.attack = cell.attack->Clone();
+    }
+  }
+
+  std::vector<ScenarioResult> results(cells.size());
+  torbase::ThreadPool pool(threads);
+  pool.ParallelFor(cells.size(), [this, &cells, &workloads, &results](size_t i) {
+    results[i] = RunWithWorkload(cells[i], *workloads[i], InspectFn());
+  });
   return results;
 }
 

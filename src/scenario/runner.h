@@ -1,14 +1,22 @@
 // Executes ScenarioSpecs. One runner owns a workload cache: generating the
-// relay population and the n vote documents is the dominant per-cell setup
-// cost in fig10-style grids, and every cell of a bandwidth sweep shares the
-// same (relay_count, seed, authority_count) workload — so the runner
-// generates each workload once and reuses it across runs.
+// relay population and the n vote documents (plus their serialized bytes) is
+// the dominant per-cell setup cost in fig10-style grids, and every cell of a
+// bandwidth sweep shares the same (relay_count, seed, authority_count)
+// workload — so the runner generates each workload once and reuses it across
+// runs.
+//
+// Sweeps can run cells in parallel (SweepOptions::threads): workloads are
+// pre-materialized serially (so cache telemetry stays exact), then each cell
+// runs on a private Simulator/Harness with a per-cell clone of the attack
+// schedule. Parallel results are bit-identical to a serial sweep.
 #ifndef SRC_SCENARIO_RUNNER_H_
 #define SRC_SCENARIO_RUNNER_H_
 
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -17,6 +25,13 @@
 #include "src/tordir/generator.h"
 
 namespace torscenario {
+
+// How a Sweep distributes its cells.
+struct SweepOptions {
+  // Worker threads running cells concurrently. 0 = hardware concurrency,
+  // 1 = run serially on the calling thread.
+  unsigned threads = 1;
+};
 
 class ScenarioRunner {
  public:
@@ -36,24 +51,40 @@ class ScenarioRunner {
 
   // Runs every spec in order, sharing the workload cache across cells.
   std::vector<ScenarioResult> Sweep(const std::vector<ScenarioSpec>& specs);
+  // Same, distributing cells over `options.threads` workers. Results (and the
+  // workload-cache telemetry) are identical to the serial overload for any
+  // thread count.
+  std::vector<ScenarioResult> Sweep(const std::vector<ScenarioSpec>& specs,
+                                    const SweepOptions& options);
 
   // Workload-cache telemetry (asserted by tests, reported by benches).
-  size_t workload_cache_hits() const { return cache_hits_; }
-  size_t workload_cache_misses() const { return cache_misses_; }
-  size_t workload_cache_size() const { return workloads_.size(); }
-  void ClearWorkloadCache() { workloads_.clear(); }
+  size_t workload_cache_hits() const;
+  size_t workload_cache_misses() const;
+  size_t workload_cache_size() const;
+  void ClearWorkloadCache();
 
  private:
-  // A generated population plus all authorities' votes over it. Immutable once
-  // built; runs copy the votes they hand to actors.
+  // A generated population plus all authorities' votes over it, with their
+  // serialized bytes (actors need both, and serialization of a multi-megabyte
+  // vote is too expensive to redo per authority per run). Immutable once
+  // built; runs copy the documents they hand to actors.
   struct Workload {
     std::vector<tordir::RelayStatus> population;
     std::vector<tordir::VoteDocument> votes;
+    std::vector<std::string> vote_texts;
   };
   using WorkloadKey = std::tuple<size_t, uint64_t, uint32_t>;  // (relays, seed, n)
 
   std::shared_ptr<const Workload> GetWorkload(const ScenarioSpec& spec);
+  // The core of Run(): executes `spec` against an already-resolved workload
+  // without touching the cache (the parallel sweep pre-resolves workloads so
+  // concurrent cells never race or double-count telemetry).
+  ScenarioResult RunWithWorkload(const ScenarioSpec& spec, const Workload& workload,
+                                 const InspectFn& inspect) const;
 
+  // Guards the cache and its telemetry; cells themselves share no mutable
+  // runner state beyond this.
+  mutable std::mutex workloads_mutex_;
   std::map<WorkloadKey, std::shared_ptr<const Workload>> workloads_;
   size_t cache_hits_ = 0;
   size_t cache_misses_ = 0;

@@ -7,6 +7,7 @@
 #ifndef SRC_SCENARIO_SCENARIO_H_
 #define SRC_SCENARIO_SCENARIO_H_
 
+#include <cmath>
 #include <limits>
 #include <map>
 #include <memory>
@@ -87,6 +88,21 @@ struct ScenarioResult {
   // for unattacked scenarios.
   std::vector<torattack::AttackSample> attack_history;
 };
+
+// Field-by-field equality with NaN == NaN (failed runs carry NaN latencies).
+// This is the definition of "bit-identical" that the parallel sweep guarantees
+// against serial execution; keep it in sync with ScenarioResult's fields so
+// the equivalence test and perf_report keep covering all of them.
+inline bool BitIdentical(const ScenarioResult& a, const ScenarioResult& b) {
+  const auto same_double = [](double x, double y) {
+    return (std::isnan(x) && std::isnan(y)) || x == y;
+  };
+  return a.succeeded == b.succeeded && a.valid_count == b.valid_count &&
+         same_double(a.latency_seconds, b.latency_seconds) &&
+         same_double(a.finish_time_seconds, b.finish_time_seconds) &&
+         a.consensus_relays == b.consensus_relays && a.total_bytes_sent == b.total_bytes_sent &&
+         a.bytes_by_kind == b.bytes_by_kind && a.attack_history == b.attack_history;
+}
 
 }  // namespace torscenario
 

@@ -13,7 +13,7 @@ void Actor::SendToAllOthers(const std::string& kind, const Bytes& payload) {
   net_->Broadcast(id_, kind, payload);
 }
 
-EventId Actor::SetTimer(Duration delay, std::function<void()> fn) {
+EventId Actor::SetTimer(Duration delay, SimCallback fn) {
   return sim_->ScheduleAfter(delay, std::move(fn));
 }
 

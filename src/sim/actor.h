@@ -41,7 +41,7 @@ class Actor {
   void SendToAllOthers(const std::string& kind, const Bytes& payload);
 
   // One-shot timer; returns an id usable with CancelTimer.
-  EventId SetTimer(Duration delay, std::function<void()> fn);
+  EventId SetTimer(Duration delay, SimCallback fn);
   void CancelTimer(EventId id);
 
  private:

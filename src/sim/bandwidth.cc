@@ -11,22 +11,57 @@ BandwidthSchedule::BandwidthSchedule(double initial_bits_per_sec) {
   rates_[0] = initial_bits_per_sec;
 }
 
+std::map<TimePoint, double>::iterator BandwidthSchedule::SetPointMerged(TimePoint t, double rate) {
+  auto it = rates_.lower_bound(t);
+  if (it != rates_.end() && it->first == t) {
+    it->second = rate;
+  } else {
+    it = rates_.emplace_hint(it, t, rate);
+  }
+  // The successor no longer changes anything if it repeats the new rate.
+  const auto next = std::next(it);
+  if (next != rates_.end() && next->second == rate) {
+    rates_.erase(next);
+  }
+  // Nor does this point if the preceding segment already ran at `rate`.
+  if (it != rates_.begin() && std::prev(it)->second == rate) {
+    const auto prev = std::prev(it);
+    rates_.erase(it);
+    return prev;
+  }
+  return it;
+}
+
 void BandwidthSchedule::SetRateFrom(TimePoint from, double bits_per_sec) {
   assert(bits_per_sec >= 0.0);
-  rates_[from] = bits_per_sec;
+  if (from == 0) {
+    // The time-0 anchor always exists, even when later points repeat its rate.
+    rates_[0] = bits_per_sec;
+    const auto next = std::next(rates_.begin());
+    if (next != rates_.end() && next->second == bits_per_sec) {
+      rates_.erase(next);
+    }
+    return;
+  }
+  SetPointMerged(from, bits_per_sec);
 }
 
 void BandwidthSchedule::LimitDuring(TimePoint from, TimePoint to, double bits_per_sec) {
   assert(from < to);
   const double resume_rate = RateAt(to);
   // Drop change points swallowed by the window, then insert the clamp and the
-  // restore point.
+  // restore point (each merged away when it would not change the function —
+  // repeated same-rate clamps from rolling attacks collapse to one segment).
   auto it = rates_.lower_bound(from);
   while (it != rates_.end() && it->first < to) {
     it = rates_.erase(it);
   }
-  rates_[from] = bits_per_sec;
-  rates_[to] = resume_rate;
+  if (from == 0) {
+    rates_[0] = bits_per_sec;
+  } else {
+    SetPointMerged(from, bits_per_sec);
+  }
+  SetPointMerged(to, resume_rate);
 }
 
 double BandwidthSchedule::RateAt(TimePoint t) const {

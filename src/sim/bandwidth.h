@@ -48,7 +48,17 @@ class BandwidthSchedule {
   // Total bits the schedule can carry during [from, to).
   double CapacityDuring(TimePoint from, TimePoint to) const;
 
+  // Number of stored change points. Adjacent equal-rate segments are merged on
+  // insertion, so rolling/adaptive attack schedules that clamp-and-restore the
+  // same rate every epoch keep this bounded instead of growing per epoch.
+  size_t segment_count() const { return rates_.size(); }
+
  private:
+  // Inserts a change point at `t` with `rate`, erasing it (or its successor)
+  // when the step function would not actually change there. Returns an
+  // iterator to the segment active at `t`.
+  std::map<TimePoint, double>::iterator SetPointMerged(TimePoint t, double rate);
+
   // Change points; rates_.begin() is always at time 0.
   std::map<TimePoint, double> rates_;
 };

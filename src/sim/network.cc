@@ -95,22 +95,26 @@ void Network::SendShared(NodeId from, NodeId to, const std::string& kind,
   const Duration hop_latency = latency(from, to);
 
   // Stage 1: egress. On completion, propagate, then stage 2: ingress, then
-  // deliver. The shared payload rides along the chain of callbacks.
-  auto deliver = [this, from, to, wire_bytes, payload = std::move(payload)]() {
-    NodeState& receiver = *nodes_[to];
-    receiver.counters.messages_received += 1;
-    receiver.counters.bytes_received += wire_bytes;
-    if (receiver.handler) {
-      receiver.handler(from, *payload);
-    }
-  };
-  auto start_ingress = [this, to, bits, deliver = std::move(deliver)]() mutable {
-    nodes_[to]->ingress.StartTransfer(bits, std::move(deliver));
-  };
-  auto propagate = [this, hop_latency, start_ingress = std::move(start_ingress)]() mutable {
-    sim_->ScheduleAfter(hop_latency, std::move(start_ingress));
-  };
-  sender.egress.StartTransfer(bits, std::move(propagate));
+  // deliver. The shared payload rides along the chain of callbacks; captures
+  // are flattened per stage (rather than nesting the previous closure) so
+  // every stage fits its callback's inline buffer.
+  sender.egress.StartTransfer(
+      bits,
+      [this, from, to, bits, wire_bytes, hop_latency, payload = std::move(payload)]() mutable {
+        sim_->ScheduleAfter(
+            hop_latency,
+            [this, from, to, bits, wire_bytes, payload = std::move(payload)]() mutable {
+              nodes_[to]->ingress.StartTransfer(
+                  bits, [this, from, to, wire_bytes, payload = std::move(payload)]() {
+                    NodeState& receiver = *nodes_[to];
+                    receiver.counters.messages_received += 1;
+                    receiver.counters.bytes_received += wire_bytes;
+                    if (receiver.handler) {
+                      receiver.handler(from, *payload);
+                    }
+                  });
+            });
+      });
 }
 
 uint64_t Network::total_bytes_sent() const {

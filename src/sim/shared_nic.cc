@@ -31,7 +31,7 @@ void SharedNic::Advance() {
   }
   const double share = SharePerFlow(last_update_, now, flows_.size());
   last_update_ = now;
-  std::vector<std::function<void()>> completed;
+  std::vector<CompleteFn> completed;
   for (auto it = flows_.begin(); it != flows_.end();) {
     it->remaining_bits -= share;
     if (it->remaining_bits <= kEpsilonBits) {
@@ -124,7 +124,7 @@ void SharedNic::OnScheduleChanged() {
   Reschedule();
 }
 
-void SharedNic::StartTransfer(double bits, std::function<void()> on_complete) {
+void SharedNic::StartTransfer(double bits, CompleteFn on_complete) {
   assert(bits >= 0.0);
   Advance();
   flows_.push_back(Flow{std::max(bits, kEpsilonBits), std::move(on_complete)});

@@ -9,9 +9,9 @@
 #define SRC_SIM_SHARED_NIC_H_
 
 #include <cstdint>
-#include <functional>
 #include <list>
 
+#include "src/common/inline_function.h"
 #include "src/sim/bandwidth.h"
 #include "src/sim/simulator.h"
 
@@ -34,10 +34,15 @@ class SharedNic {
   // were already draining pick up the new rate.
   void OnScheduleChanged();
 
+  // Completion callback. The 96-byte buffer keeps the network delivery
+  // chain's largest stage (egress completion: latency hop + flattened ingress
+  // state + shared payload pointer) inline.
+  using CompleteFn = torbase::InlineFunction<void(), 96>;
+
   // Starts a transfer of `bits`; `on_complete` runs (via the event queue) when
   // the last bit has drained. Transfers that can never complete (zero rate
   // with no future schedule change) are dropped and counted.
-  void StartTransfer(double bits, std::function<void()> on_complete);
+  void StartTransfer(double bits, CompleteFn on_complete);
 
   size_t active_count() const { return flows_.size(); }
   uint64_t dropped_count() const { return dropped_; }
@@ -45,7 +50,7 @@ class SharedNic {
  private:
   struct Flow {
     double remaining_bits;
-    std::function<void()> on_complete;
+    CompleteFn on_complete;
   };
 
   // Drains all flows for the interval [last_update_, now] and fires

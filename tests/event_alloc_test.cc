@@ -1,0 +1,57 @@
+// Pins the zero-allocation contract of the simulator's event hot path: after
+// warm-up (heap / slot-arena growth is amortized), scheduling, cancelling and
+// firing events performs no heap allocation as long as the callback's captures
+// fit SimCallback's inline buffer.
+//
+// The whole test binary routes allocations through the shared counting
+// operator new/delete (src/common/counting_allocator.h); the assertions
+// compare counter deltas around tight loops that themselves allocate nothing.
+#include <gtest/gtest.h>
+
+#include "src/common/counting_allocator.h"
+#include "src/sim/event_probe.h"
+#include "src/sim/simulator.h"
+
+namespace torsim {
+namespace {
+
+using torbase::counting_allocator::AllocationCount;
+
+constexpr size_t kBatch = 64;
+constexpr size_t kRounds = 200;
+
+TEST(EventAllocTest, ScheduleFireIsAllocationFreeAfterWarmup) {
+  Simulator sim;
+  uint64_t fired = 0;
+  WarmUpProbe(sim, kBatch, &fired);
+
+  const uint64_t before = AllocationCount();
+  for (size_t round = 0; round < kRounds; ++round) {
+    ScheduleProbeBatch(sim, kBatch, &fired);
+    sim.Run();
+  }
+  const uint64_t after = AllocationCount();
+
+  EXPECT_EQ(after - before, 0u) << "schedule->fire allocated on the hot path";
+  EXPECT_EQ(fired, kBatch + kRounds * kBatch);
+}
+
+TEST(EventAllocTest, ScheduleCancelIsAllocationFreeAfterWarmup) {
+  Simulator sim;
+  uint64_t fired = 0;
+  ScheduleCancelProbeBatch(sim, kBatch, &fired);
+  sim.Run();
+
+  const uint64_t before = AllocationCount();
+  for (size_t round = 0; round < kRounds; ++round) {
+    ScheduleCancelProbeBatch(sim, kBatch, &fired);
+    sim.Run();
+  }
+  const uint64_t after = AllocationCount();
+
+  EXPECT_EQ(after - before, 0u) << "schedule->cancel allocated on the hot path";
+  EXPECT_EQ(fired, 0u);
+}
+
+}  // namespace
+}  // namespace torsim

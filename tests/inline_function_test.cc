@@ -1,0 +1,140 @@
+// Unit tests for torbase::InlineFunction: SBO vs. heap fallback, move-only
+// captures, relocation and destruction semantics — the properties the
+// simulator's zero-allocation event path depends on.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/common/inline_function.h"
+
+namespace torbase {
+namespace {
+
+using Callback = InlineFunction<void(), 48>;
+
+TEST(InlineFunctionTest, DefaultConstructedIsEmpty) {
+  Callback fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  Callback null_fn = nullptr;
+  EXPECT_FALSE(static_cast<bool>(null_fn));
+}
+
+TEST(InlineFunctionTest, InvokesSmallCaptureInline) {
+  int hits = 0;
+  Callback fn = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunctionTest, ReturnsValuesAndTakesArguments) {
+  InlineFunction<int(int, int), 48> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCaptureWorks) {
+  auto value = std::make_unique<int>(41);
+  Callback fn = [value = std::move(value)] { ++*value; };
+  EXPECT_TRUE(fn.is_inline());
+  fn();  // no observable effect; just must not crash or copy
+}
+
+TEST(InlineFunctionTest, CaptureAtBufferBoundaryStaysInline) {
+  std::array<char, 48> blob{};
+  blob[0] = 7;
+  Callback fn = [blob] { EXPECT_EQ(blob[0], 7); };
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+}
+
+TEST(InlineFunctionTest, OversizedCaptureFallsBackToHeap) {
+  std::array<char, 128> blob{};
+  blob[100] = 9;
+  Callback fn = [blob] { EXPECT_EQ(blob[100], 9); };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_FALSE(fn.is_inline());
+  fn();
+}
+
+TEST(InlineFunctionTest, MoveTransfersTargetAndEmptiesSource) {
+  int hits = 0;
+  Callback a = [&hits] { ++hits; };
+  Callback b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  Callback c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunctionTest, MoveHeapTargetTransfersOwnership) {
+  std::array<char, 128> blob{};
+  auto counter = std::make_shared<int>(0);
+  Callback a = [blob, counter] {
+    (void)blob;
+    ++*counter;
+  };
+  EXPECT_FALSE(a.is_inline());
+  Callback b = std::move(a);
+  b();
+  EXPECT_EQ(*counter, 1);
+}
+
+struct DtorCounter {
+  explicit DtorCounter(int* count) : count(count) {}
+  DtorCounter(DtorCounter&& other) noexcept : count(other.count) { other.count = nullptr; }
+  DtorCounter(const DtorCounter& other) = default;
+  ~DtorCounter() {
+    if (count != nullptr) {
+      ++*count;
+    }
+  }
+  int* count;
+};
+
+TEST(InlineFunctionTest, DestroysCaptureExactlyOnce) {
+  int destroyed = 0;
+  {
+    Callback fn = [guard = DtorCounter(&destroyed)] { (void)guard; };
+    EXPECT_EQ(destroyed, 0);
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineFunctionTest, NullAssignmentDestroysCaptureImmediately) {
+  int destroyed = 0;
+  Callback fn = [guard = DtorCounter(&destroyed)] { (void)guard; };
+  EXPECT_EQ(destroyed, 0);
+  fn = nullptr;
+  EXPECT_EQ(destroyed, 1);
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFunctionTest, SharedPtrCaptureReleasedOnDestroy) {
+  auto payload = std::make_shared<std::string>("vote bytes");
+  ASSERT_EQ(payload.use_count(), 1);
+  {
+    Callback fn = [payload] { (void)payload; };
+    EXPECT_EQ(payload.use_count(), 2);
+  }
+  EXPECT_EQ(payload.use_count(), 1);
+}
+
+TEST(InlineFunctionTest, MutableLambdaKeepsStateAcrossCalls) {
+  InlineFunction<int(), 48> counter = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(counter(), 1);
+  EXPECT_EQ(counter(), 2);
+  EXPECT_EQ(counter(), 3);
+}
+
+}  // namespace
+}  // namespace torbase

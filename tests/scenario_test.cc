@@ -240,6 +240,71 @@ TEST(ScenarioTest, SweepRunsEveryCellInOrder) {
   EXPECT_EQ(runner.workload_cache_hits(), specs.size() - 1);
 }
 
+// Per-field diagnostics for a BitIdentical failure; the authoritative
+// comparison (covering every ScenarioResult field) is BitIdentical itself.
+void ExpectSameResult(const ScenarioResult& a, const ScenarioResult& b, size_t cell) {
+  EXPECT_TRUE(BitIdentical(a, b)) << "cell " << cell;
+  EXPECT_EQ(a.succeeded, b.succeeded) << "cell " << cell;
+  EXPECT_EQ(a.valid_count, b.valid_count) << "cell " << cell;
+  EXPECT_EQ(a.consensus_relays, b.consensus_relays) << "cell " << cell;
+  EXPECT_EQ(a.total_bytes_sent, b.total_bytes_sent) << "cell " << cell;
+  EXPECT_EQ(a.bytes_by_kind, b.bytes_by_kind) << "cell " << cell;
+  EXPECT_EQ(a.attack_history, b.attack_history) << "cell " << cell;
+  if (a.succeeded && b.succeeded) {
+    EXPECT_EQ(a.latency_seconds, b.latency_seconds) << "cell " << cell;
+    EXPECT_EQ(a.finish_time_seconds, b.finish_time_seconds) << "cell " << cell;
+  }
+}
+
+TEST(ScenarioTest, ParallelSweepIsBitIdenticalToSerial) {
+  // A 12-cell grid mixing the hard cases for parallelism: a shared rolling
+  // attack-schedule object across cells (must be cloned per cell), churn, and
+  // failed cells (NaN latencies). Every thread count must reproduce the serial
+  // results exactly, including the workload-cache telemetry.
+  torattack::RollingAttackConfig attack_config;
+  attack_config.victim_count = 5;
+  attack_config.period = Minutes(1);
+  attack_config.start = 0;
+  attack_config.end = Minutes(4);
+  const auto rolling = std::make_shared<torattack::RollingAttack>(attack_config);
+
+  std::vector<ScenarioSpec> specs;
+  for (const char* protocol : {"current", "icps"}) {
+    for (size_t relays : {200, 300}) {
+      for (int variant = 0; variant < 3; ++variant) {
+        ScenarioSpec spec = SmallSpec(protocol);
+        spec.relay_count = relays;
+        spec.horizon = torbase::Hours(1);
+        if (variant != 1) {
+          spec.attack = rolling;  // deliberately shared across cells
+        }
+        if (variant != 0) {
+          spec.churn.push_back({/*node=*/7, /*at=*/Seconds(30), ChurnEvent::Kind::kCrash});
+          spec.churn.push_back({/*node=*/7, /*at=*/Minutes(6), ChurnEvent::Kind::kRecover});
+        }
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  ASSERT_GE(specs.size(), 12u);
+
+  ScenarioRunner serial_runner;
+  const auto serial = serial_runner.Sweep(specs);
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ScenarioRunner parallel_runner;
+    const auto parallel = parallel_runner.Sweep(specs, SweepOptions{threads});
+    ASSERT_EQ(parallel.size(), serial.size()) << threads << " threads";
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ExpectSameResult(serial[i], parallel[i], i);
+    }
+    EXPECT_EQ(parallel_runner.workload_cache_misses(), serial_runner.workload_cache_misses())
+        << threads << " threads";
+    EXPECT_EQ(parallel_runner.workload_cache_hits(), serial_runner.workload_cache_hits())
+        << threads << " threads";
+  }
+}
+
 // A protocol registered from outside the built-ins participates in dispatch:
 // the registry is genuinely pluggable, not a closed enum in disguise.
 class RenamedIcps : public torproto::DirectoryProtocol {
@@ -248,9 +313,10 @@ class RenamedIcps : public torproto::DirectoryProtocol {
   std::string_view display_name() const override { return "Ours (alias)"; }
   std::unique_ptr<torsim::Actor> MakeAuthority(const torproto::ProtocolRunConfig& config,
                                                const torcrypto::KeyDirectory* directory,
-                                               torbase::NodeId id,
-                                               tordir::VoteDocument vote) const override {
-    return torproto::GetProtocol("icps").MakeAuthority(config, directory, id, std::move(vote));
+                                               torbase::NodeId id, tordir::VoteDocument vote,
+                                               std::string vote_text) const override {
+    return torproto::GetProtocol("icps").MakeAuthority(config, directory, id, std::move(vote),
+                                                       std::move(vote_text));
   }
   torproto::UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const override {
     return torproto::GetProtocol("icps").ProbeOutcome(actor);

@@ -105,9 +105,10 @@ TEST(SimulatorTest, RunWithLimit) {
 }
 
 TEST(SimulatorTest, PendingCountNeverUnderflows) {
-  // pending_count() is queue size minus cancellations; interleaving
-  // cancellations with partial drains must never wrap the unsigned
-  // subtraction (the count is monotone-sane even in pathological orders).
+  // pending_count() tracks live events exactly: cancellation decrements it at
+  // cancel time, and draining tombstones must not change it. Interleaving
+  // cancellations with partial drains must keep it monotone-sane even in
+  // pathological orders.
   Simulator sim;
   std::vector<EventId> ids;
   for (TimePoint t : {10u, 20u, 30u, 40u}) {
@@ -146,6 +147,36 @@ TEST(SimulatorTest, PendingCountSaneAfterFullDrainWithManyCancels) {
   EXPECT_EQ(sim.pending_count(), 16u);
   sim.Run();
   EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(SimulatorTest, CancelReleasesCapturedStateImmediately) {
+  // Cancel destroys the callback right away, not when the cancelled instant
+  // drains off the queue: captured resources (multi-megabyte payload buffers
+  // in the network layer) must not linger until the event's time arrives.
+  Simulator sim;
+  auto payload = std::make_shared<std::string>("captured vote bytes");
+  const EventId id = sim.ScheduleAt(Minutes(10), [payload] { (void)payload; });
+  ASSERT_EQ(payload.use_count(), 2);
+  sim.Cancel(id);
+  EXPECT_EQ(payload.use_count(), 1) << "capture must be freed at cancel time";
+  sim.Run();
+  EXPECT_EQ(payload.use_count(), 1);
+}
+
+TEST(SimulatorTest, StaleIdCannotCancelReusedSlot) {
+  // After an event fires, its slot may be reused by a new event; the old
+  // (stale) EventId must not cancel the newcomer (generation tags).
+  Simulator sim;
+  bool first_fired = false;
+  const EventId first = sim.ScheduleAt(10, [&] { first_fired = true; });
+  sim.Run();
+  ASSERT_TRUE(first_fired);
+
+  bool second_fired = false;
+  sim.ScheduleAt(20, [&] { second_fired = true; });  // reuses the slot
+  sim.Cancel(first);                                 // stale: must be a no-op
+  sim.Run();
+  EXPECT_TRUE(second_fired);
 }
 
 TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
@@ -239,6 +270,42 @@ TEST(BandwidthTest, AttackWindowDelaysTransferAcrossWindow) {
   harsher.LimitDuring(0, Minutes(5), MegabitsPerSecond(0.05));
   const TimePoint finish2 = harsher.FinishTime(0, vote_bits);
   EXPECT_GT(finish2, Minutes(5));
+}
+
+TEST(BandwidthTest, AdjacentEqualRateSegmentsMerge) {
+  // Rolling attacks clamp-and-restore every epoch; repeated same-rate windows
+  // must collapse instead of growing the change-point map per epoch.
+  BandwidthSchedule sched(BitsPerSecond(8e6));
+  EXPECT_EQ(sched.segment_count(), 1u);
+
+  // Back-to-back windows at the same clamp rate: one clamp + one restore.
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    const TimePoint start = Seconds(10) + static_cast<TimePoint>(epoch) * Seconds(2);
+    sched.LimitDuring(start, start + Seconds(2), BitsPerSecond(1e6));
+  }
+  EXPECT_EQ(sched.segment_count(), 3u);  // t=0 anchor, clamp at 10 s, restore
+  EXPECT_DOUBLE_EQ(sched.RateAt(Seconds(5)), 8e6);
+  EXPECT_DOUBLE_EQ(sched.RateAt(Seconds(60)), 1e6);
+  EXPECT_DOUBLE_EQ(sched.RateAt(Seconds(110) + 1), 8e6);
+
+  // A redundant SetRateFrom (same rate as the active segment) adds nothing.
+  sched.SetRateFrom(Minutes(10), BitsPerSecond(8e6));
+  EXPECT_EQ(sched.segment_count(), 3u);
+
+  // The step function itself is unchanged by merging.
+  EXPECT_EQ(sched.NextChangeAfter(0), Seconds(10));
+  EXPECT_EQ(sched.NextChangeAfter(Seconds(10)), Seconds(110));
+  EXPECT_EQ(sched.NextChangeAfter(Seconds(110)), torbase::kTimeNever);
+}
+
+TEST(BandwidthTest, MergeKeepsRestorePointWhenRatesDiffer) {
+  BandwidthSchedule sched(BitsPerSecond(8e6));
+  sched.LimitDuring(Seconds(1), Seconds(2), BitsPerSecond(1e6));
+  sched.LimitDuring(Seconds(2), Seconds(3), BitsPerSecond(2e6));
+  EXPECT_EQ(sched.segment_count(), 4u);  // 0, clamp1, clamp2, restore
+  EXPECT_DOUBLE_EQ(sched.RateAt(Seconds(1)), 1e6);
+  EXPECT_DOUBLE_EQ(sched.RateAt(Seconds(2)), 2e6);
+  EXPECT_DOUBLE_EQ(sched.RateAt(Seconds(3)), 8e6);
 }
 
 NetworkConfig SmallNetConfig(uint32_t n, double bw_bps, Duration latency) {
