@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "src/clients/population.h"
 #include "src/core/icps_authority.h"
 #include "src/sim/actor.h"
 #include "src/tordir/dirspec.h"
@@ -62,5 +63,22 @@ int main() {
   }
   std::printf("  identical on all 9     : %s\n", all_equal ? "yes" : "NO");
   std::printf("\nConsensus digest: %s\n", digest.ToHex().c_str());
+
+  // 5. What this round means for clients: feed the publish time into the
+  // consumption plane (src/clients) — a million clients fetching through
+  // directory caches, integrated in closed form.
+  torclients::ClientLoadSpec clients;
+  clients.client_count = 1'000'000;
+  const torclients::PublishedDocument published = torclients::MapToTimeline(
+      /*round_start_seconds=*/0.0, torbase::ToSeconds(outcome.finished_at),
+      outcome.consensus.valid_after, outcome.consensus.fresh_until, outcome.consensus.valid_until,
+      static_cast<double>(tordir::SerializeConsensus(outcome.consensus).size()),
+      clients.vote_lead);
+  const auto availability = torclients::SimulateClientLoad(
+      clients, {published}, torbase::ToSeconds(clients.evaluation_window));
+  std::printf("\nClient-visible availability (1M clients, this directory period):\n");
+  std::printf("  demand served fresh    : %.2f %%\n",
+              100.0 * availability.fresh_fraction);
+  std::printf("  client outage          : %.1f s\n", availability.outage_seconds);
   return all_equal ? 0 : 1;
 }

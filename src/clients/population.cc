@@ -1,0 +1,217 @@
+#include "src/clients/population.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace torclients {
+namespace {
+
+// A document as the cache tier serves it: availability (publish + mirror
+// delay) plus the freshness window, all in virtual seconds.
+struct ServedDoc {
+  double available = 0.0;
+  double fresh_until = 0.0;
+  double valid_until = 0.0;
+  double size_bytes = 0.0;
+};
+
+torbase::TimePoint ToMicros(double seconds) {
+  return static_cast<torbase::TimePoint>(std::llround(seconds * 1e6));
+}
+
+}  // namespace
+
+PublishedDocument MapToTimeline(double round_start_seconds, double published_in_round_seconds,
+                                uint64_t valid_after, uint64_t fresh_until, uint64_t valid_until,
+                                double size_bytes, torbase::Duration vote_lead) {
+  const double lead = torbase::ToSeconds(vote_lead);
+  const double base = static_cast<double>(valid_after);
+  PublishedDocument doc;
+  doc.published_seconds = round_start_seconds + published_in_round_seconds;
+  doc.fresh_until_seconds = round_start_seconds + static_cast<double>(fresh_until) - base + lead;
+  doc.valid_until_seconds = round_start_seconds + static_cast<double>(valid_until) - base + lead;
+  doc.size_bytes = size_bytes;
+  return doc;
+}
+
+ClientAvailability SimulateClientLoad(const ClientLoadSpec& spec,
+                                      std::vector<PublishedDocument> documents,
+                                      double window_seconds) {
+  ClientAvailability out;
+  if (spec.client_count == 0 || window_seconds <= 0.0) {
+    return out;
+  }
+
+  const double period = torbase::ToSeconds(spec.fetch_period);
+  const double lead = torbase::ToSeconds(spec.vote_lead);
+  const double mirror = torbase::ToSeconds(spec.cache_mirror_delay);
+
+  std::sort(documents.begin(), documents.end(),
+            [](const PublishedDocument& a, const PublishedDocument& b) {
+              return a.published_seconds < b.published_seconds;
+            });
+
+  double default_size = spec.consensus_size_hint_bytes;
+  if (default_size <= 0.0) {
+    default_size = documents.empty() ? 1e6 : documents.front().size_bytes;
+  }
+  if (default_size <= 0.0) {
+    default_size = 1e6;
+  }
+
+  std::vector<ServedDoc> docs;
+  docs.reserve(documents.size() + 1);
+  if (spec.prior_consensus) {
+    // The previous period's document: already mirrored at t = 0, fresh until
+    // this run's consensus was due (the vote_lead clock convention), valid
+    // for the remaining validity_periods - 1 periods.
+    docs.push_back(ServedDoc{0.0, lead,
+                             lead + (spec.validity_periods - 1) * period, default_size});
+  }
+  for (const PublishedDocument& doc : documents) {
+    docs.push_back(ServedDoc{doc.published_seconds + mirror, doc.fresh_until_seconds,
+                             doc.valid_until_seconds,
+                             doc.size_bytes > 0.0 ? doc.size_bytes : default_size});
+  }
+  std::sort(docs.begin(), docs.end(),
+            [](const ServedDoc& a, const ServedDoc& b) { return a.available < b.available; });
+
+  // Availability-state breakpoints: window edges, every instant a document
+  // becomes available or crosses a freshness boundary, and every cache-rate
+  // change point. Between consecutive breakpoints the state and all rates are
+  // constant, so each slice integrates in closed form.
+  std::vector<double> cuts = {0.0, window_seconds};
+  const auto add_cut = [&cuts, window_seconds](double t) {
+    if (t > 0.0 && t < window_seconds) {
+      cuts.push_back(t);
+    }
+  };
+  for (const ServedDoc& doc : docs) {
+    add_cut(doc.available);
+    add_cut(doc.fresh_until);
+    add_cut(doc.valid_until);
+  }
+  torsim::BandwidthSchedule cache(spec.cache_bandwidth_bps);
+  for (torbase::TimePoint t = cache.NextChangeAfter(0); t != torbase::kTimeNever;
+       t = cache.NextChangeAfter(t)) {
+    const double seconds = static_cast<double>(t) / 1e6;
+    if (seconds >= window_seconds) {
+      break;
+    }
+    add_cut(seconds);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  // Cohort demand rates: the fluid limit of each cohort's Poisson fetch
+  // arrivals (see the header comment).
+  const double boot_rate =
+      static_cast<double>(spec.client_count) * spec.bootstrap_fraction / period;
+  const double steady_rate =
+      static_cast<double>(spec.client_count) * (1.0 - spec.bootstrap_fraction) / period;
+
+  double backlog = 0.0;
+  out.timeline.reserve(cuts.size() - 1);
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double t0 = cuts[i];
+    const double t1 = cuts[i + 1];
+    const double length = t1 - t0;
+
+    // The state over [t0, t1): boundaries are breakpoints, so evaluating the
+    // window edges at t0 classifies the whole slice.
+    double fresh_max = -1.0;
+    double valid_max = -1.0;
+    double fresh_size = 0.0;
+    double valid_size = 0.0;
+    for (const ServedDoc& doc : docs) {
+      if (doc.available > t0) {
+        break;  // sorted by availability
+      }
+      if (doc.fresh_until > fresh_max) {
+        fresh_max = doc.fresh_until;
+        fresh_size = doc.size_bytes;
+      }
+      if (doc.valid_until > valid_max) {
+        valid_max = doc.valid_until;
+        valid_size = doc.size_bytes;
+      }
+    }
+    AvailabilitySlice::State state = AvailabilitySlice::State::kDown;
+    double serve_size = 0.0;
+    if (fresh_max > t0) {
+      state = AvailabilitySlice::State::kFresh;
+      serve_size = fresh_size;
+    } else if (valid_max > t0) {
+      state = AvailabilitySlice::State::kStale;
+      serve_size = valid_size;
+    }
+
+    const double steady = steady_rate * length;
+    const double boot = boot_rate * length;
+
+    AvailabilitySlice slice;
+    slice.begin_seconds = t0;
+    slice.end_seconds = t1;
+    slice.state = state;
+
+    if (state == AvailabilitySlice::State::kDown) {
+      // No valid document: steady clients keep (and retry against) their
+      // expired copy — client-visibly broken; bootstrapping clients cannot
+      // join and queue up for retry.
+      slice.unserved_fetches = steady;
+      out.unserved_fetches += steady;
+      backlog += boot;
+      out.hard_down_seconds += length;
+      if (std::isnan(out.hard_down_start_seconds)) {
+        out.hard_down_start_seconds = t0;
+      }
+    } else {
+      // A document exists. Steady refetchers are served first: their demand
+      // is paced by the fetch period, and a refetch the caches cannot carry
+      // is simply missed until the next period — unmet steady demand counts
+      // unserved, exactly as in the down state. Bootstrapping arrivals and
+      // the bootstrap retry backlog share the remaining capacity, so the
+      // backlog tracks *blocked bootstraps* only. Capacity is the cache
+      // tier's aggregate schedule over the slice.
+      const double capacity_bits =
+          static_cast<double>(spec.cache_count) * cache.CapacityDuring(ToMicros(t0), ToMicros(t1));
+      const double capacity_fetches = capacity_bits / (serve_size * 8.0);
+      const double steady_served = std::min(steady, capacity_fetches);
+      const double boot_offered = boot + backlog;
+      const double boot_served = std::min(boot_offered, capacity_fetches - steady_served);
+      backlog = boot_offered - boot_served;
+      const double served = steady_served + boot_served;
+      slice.unserved_fetches = steady - steady_served;
+      out.unserved_fetches += steady - steady_served;
+      if (state == AvailabilitySlice::State::kFresh) {
+        slice.fresh_fetches = served;
+        out.fresh_fetches += served;
+      } else {
+        slice.stale_fetches = served;
+        out.stale_fetches += served;
+      }
+    }
+    if (state != AvailabilitySlice::State::kFresh) {
+      out.outage_seconds += length;
+      if (std::isnan(out.outage_start_seconds)) {
+        out.outage_start_seconds = t0;
+        out.time_to_first_stale_seconds = t0;
+      }
+    }
+
+    backlog = std::max(backlog, 0.0);
+    out.peak_backlog_fetches = std::max(out.peak_backlog_fetches, backlog);
+    slice.backlog_fetches = backlog;
+    out.timeline.push_back(slice);
+  }
+
+  // Demand still queued at the window edge never got a document in time.
+  out.unserved_fetches += backlog;
+  out.total_fetches = (steady_rate + boot_rate) * window_seconds;
+  if (out.total_fetches > 0.0) {
+    out.fresh_fraction = out.fresh_fetches / out.total_fetches;
+  }
+  return out;
+}
+
+}  // namespace torclients

@@ -94,6 +94,22 @@ class IcpsAuthority : public torsim::Actor {
     return agreement_.has_value() ? &*agreement_ : nullptr;
   }
 
+  // Digest of the unsigned consensus body, once computed this run.
+  const std::optional<torcrypto::Digest256>& consensus_digest() const {
+    return consensus_digest_;
+  }
+
+  // Authorities whose vote documents this one holds (its own included) — what
+  // the consensus-health monitor observes of the dissemination phase.
+  std::vector<torbase::NodeId> vote_senders() const {
+    std::vector<torbase::NodeId> senders;
+    senders.reserve(documents_.size());
+    for (const auto& [sender, doc] : documents_) {
+      senders.push_back(sender);
+    }
+    return senders;
+  }
+
  private:
   enum MessageType : uint8_t {
     // 1..8 reserved for the HotStuff engine.

@@ -46,6 +46,22 @@ class CurrentAuthority : public torsim::Actor {
   const ProtocolConfig& config() const { return config_; }
   bool finished() const { return finished_; }
 
+  // Digest of the unsigned consensus body, once computed this run.
+  const std::optional<torcrypto::Digest256>& consensus_digest() const {
+    return consensus_digest_;
+  }
+
+  // Authorities whose votes this one holds (its own included) — what the
+  // consensus-health monitor observes of the vote exchange.
+  std::vector<NodeId> vote_senders() const {
+    std::vector<NodeId> senders;
+    senders.reserve(votes_.size());
+    for (const auto& [sender, vote] : votes_) {
+      senders.push_back(sender);
+    }
+    return senders;
+  }
+
  private:
   enum MessageType : uint8_t {
     kVotePost = 1,

@@ -50,6 +50,21 @@ struct UnifiedOutcome {
   double finish_seconds = std::numeric_limits<double>::quiet_NaN();
 };
 
+// What an authority ended the run publishing: the consensus document (null
+// until a *valid* consensus — majority signatures — was assembled) and the
+// absolute virtual time it became available for directory caches to mirror.
+// This is the hand-off point between the production plane (authorities) and
+// the consumption plane (src/clients): the scenario runner probes it to turn
+// protocol outcomes into client-visible availability.
+struct PublishedConsensus {
+  const tordir::ConsensusDocument* document = nullptr;
+  torbase::TimePoint published_at = torbase::kTimeNever;
+  // Digest of the document's unsigned body, when the authority computed one
+  // during the run (all built-ins do) — lets the health monitor record
+  // consensus digests without re-serializing multi-megabyte documents.
+  const torcrypto::Digest256* digest = nullptr;
+};
+
 class DirectoryProtocol {
  public:
   virtual ~DirectoryProtocol() = default;
@@ -70,6 +85,23 @@ class DirectoryProtocol {
 
   // Reads the unified outcome back out of an actor this protocol created.
   virtual UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const = 0;
+
+  // The consensus document `actor` would publish, with its publish time.
+  // {nullptr, kTimeNever} when the authority never assembled a valid
+  // consensus. The pointer stays valid as long as the actor does.
+  virtual PublishedConsensus ProbeConsensus(const torsim::Actor& actor) const {
+    (void)actor;
+    return {};
+  }
+
+  // The authorities whose votes (relay lists / vote documents, in each
+  // protocol's vocabulary) `actor` ended the run holding, its own included.
+  // The consensus-health monitor ingests this to detect the §4 missing-votes
+  // DDoS signature. Empty for protocols that do not expose it.
+  virtual std::vector<torbase::NodeId> ProbeVoteSenders(const torsim::Actor& actor) const {
+    (void)actor;
+    return {};
+  }
 
   // The (view, leader) of `actor`'s in-flight agreement sub-protocol, if the
   // protocol has a leader notion and the agreement is still undecided.

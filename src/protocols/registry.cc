@@ -48,6 +48,20 @@ class CurrentProtocol : public DirectoryProtocol {
     unified.finish_seconds = torbase::ToSeconds(outcome.finished_at);
     return unified;
   }
+
+  PublishedConsensus ProbeConsensus(const torsim::Actor& actor) const override {
+    const auto& authority = static_cast<const CurrentAuthority&>(actor);
+    const auto& outcome = authority.outcome();
+    if (!outcome.valid_consensus) {
+      return {};
+    }
+    return {&outcome.consensus, outcome.finished_at,
+            authority.consensus_digest() ? &*authority.consensus_digest() : nullptr};
+  }
+
+  std::vector<torbase::NodeId> ProbeVoteSenders(const torsim::Actor& actor) const override {
+    return static_cast<const CurrentAuthority&>(actor).vote_senders();
+  }
 };
 
 // Luo et al.'s synchronous fix (src/protocols/sync).
@@ -83,6 +97,20 @@ class SynchronousProtocol : public DirectoryProtocol {
     unified.finish_seconds = torbase::ToSeconds(outcome.finished_at);
     return unified;
   }
+
+  PublishedConsensus ProbeConsensus(const torsim::Actor& actor) const override {
+    const auto& authority = static_cast<const SyncAuthority&>(actor);
+    const auto& outcome = authority.outcome();
+    if (!outcome.valid_consensus) {
+      return {};
+    }
+    return {&outcome.consensus, outcome.finished_at,
+            authority.consensus_digest() ? &*authority.consensus_digest() : nullptr};
+  }
+
+  std::vector<torbase::NodeId> ProbeVoteSenders(const torsim::Actor& actor) const override {
+    return static_cast<const SyncAuthority&>(actor).vote_senders();
+  }
 };
 
 // The paper's ICPS protocol (src/core).
@@ -115,6 +143,20 @@ class IcpsProtocol : public DirectoryProtocol {
     unified.network_time_seconds = torbase::ToSeconds(outcome.finished_at);
     unified.finish_seconds = torbase::ToSeconds(outcome.finished_at);
     return unified;
+  }
+
+  PublishedConsensus ProbeConsensus(const torsim::Actor& actor) const override {
+    const auto& authority = static_cast<const toricc::IcpsAuthority&>(actor);
+    const auto& outcome = authority.outcome();
+    if (!outcome.valid_consensus) {
+      return {};
+    }
+    return {&outcome.consensus, outcome.finished_at,
+            authority.consensus_digest() ? &*authority.consensus_digest() : nullptr};
+  }
+
+  std::vector<torbase::NodeId> ProbeVoteSenders(const torsim::Actor& actor) const override {
+    return static_cast<const toricc::IcpsAuthority&>(actor).vote_senders();
   }
 
   std::optional<std::pair<uint64_t, torbase::NodeId>> AgreementView(

@@ -68,6 +68,22 @@ class SyncAuthority : public torsim::Actor {
   const ProtocolConfig& config() const { return config_; }
   bool finished() const { return finished_; }
 
+  // Digest of the unsigned consensus body, once computed this run.
+  const std::optional<torcrypto::Digest256>& consensus_digest() const {
+    return consensus_digest_;
+  }
+
+  // Authorities whose relay lists (this protocol's vote documents) this one
+  // holds, its own included — what the consensus-health monitor observes.
+  std::vector<NodeId> vote_senders() const {
+    std::vector<NodeId> senders;
+    senders.reserve(lists_.size());
+    for (const auto& [sender, list] : lists_) {
+      senders.push_back(sender);
+    }
+    return senders;
+  }
+
   // The designated Dolev-Strong sender.
   static constexpr NodeId kDesignatedSender = 0;
   // Number of relay rounds: f + 1 with f = majority tolerance of 4.

@@ -4,9 +4,11 @@
 #include <optional>
 #include <utility>
 
+#include "src/clients/population.h"
 #include "src/common/thread_pool.h"
 #include "src/protocols/directory_protocol.h"
 #include "src/tordir/dirspec.h"
+#include "src/tordir/health_monitor.h"
 
 namespace torscenario {
 namespace {
@@ -18,6 +20,79 @@ constexpr uint64_t kKeyDirectorySeed = 42;
 double NodeRate(const ScenarioSpec& spec, torbase::NodeId node) {
   const auto it = spec.bandwidth_by_authority.find(node);
   return it == spec.bandwidth_by_authority.end() ? spec.bandwidth_bps : it->second;
+}
+
+// Feeds the run's observable vote/consensus record through the
+// consensus-health monitor (Table 1's deployed mitigation) and stores the
+// alerts. Pure post-run analysis over probe results.
+void AnalyzeHealth(const ScenarioSpec& spec, const torproto::DirectoryProtocol& protocol,
+                   const std::vector<torsim::Actor*>& actors,
+                   const std::vector<torcrypto::Digest256>& vote_digests,
+                   ScenarioResult& result) {
+  tordir::HealthMonitor monitor(spec.authority_count);
+  for (const torsim::Actor* actor : actors) {
+    for (const torbase::NodeId sender : protocol.ProbeVoteSenders(*actor)) {
+      if (sender < vote_digests.size()) {
+        monitor.RecordVote(actor->id(), sender, vote_digests[sender]);
+      }
+    }
+  }
+  for (const torsim::Actor* actor : actors) {
+    const torproto::PublishedConsensus published = protocol.ProbeConsensus(*actor);
+    if (published.document == nullptr) {
+      monitor.RecordConsensus(actor->id(), std::nullopt);
+    } else if (published.digest != nullptr) {
+      // All built-ins expose the body digest they computed during the run;
+      // recording it is free.
+      monitor.RecordConsensus(actor->id(), *published.digest);
+    } else {
+      // Downstream protocols without a cached digest pay one hash here.
+      monitor.RecordConsensus(actor->id(), tordir::ConsensusDigest(*published.document));
+    }
+  }
+  result.health_alerts = monitor.Analyze();
+}
+
+// Runs the consumption plane: converts the run's publish timeline into the
+// client-visible availability metrics. Closed-form post-processing — adds no
+// simulator events, so its cost is independent of the client count.
+void AnalyzeClientLoad(const ScenarioSpec& spec, const torproto::PublishedConsensus& published,
+                       size_t fallback_size_bytes, ScenarioResult& result) {
+  torclients::ClientLoadSpec load = spec.client_load;
+  if (load.consensus_size_hint_bytes <= 0.0) {
+    // Failed runs publish nothing; size the prior document like a vote,
+    // which matches the consensus's wire-size shape at the same relay count.
+    load.consensus_size_hint_bytes = static_cast<double>(fallback_size_bytes);
+  }
+
+  std::vector<torclients::PublishedDocument> documents;
+  if (published.document != nullptr) {
+    result.consensus_size_bytes = tordir::SerializeConsensus(*published.document).size();
+    documents.push_back(torclients::MapToTimeline(
+        /*round_start_seconds=*/0.0, torbase::ToSeconds(published.published_at),
+        published.document->valid_after, published.document->fresh_until,
+        published.document->valid_until, static_cast<double>(result.consensus_size_bytes),
+        load.vote_lead));
+  }
+
+  const double window =
+      std::min(torbase::ToSeconds(spec.horizon), torbase::ToSeconds(load.evaluation_window));
+  const torclients::ClientAvailability availability =
+      torclients::SimulateClientLoad(load, std::move(documents), window);
+
+  ClientAvailabilityResult& out = result.client_availability;
+  out.enabled = true;
+  out.total_fetches = availability.total_fetches;
+  out.fresh_fetches = availability.fresh_fetches;
+  out.stale_fetches = availability.stale_fetches;
+  out.unserved_fetches = availability.unserved_fetches;
+  out.fresh_fraction = availability.fresh_fraction;
+  out.time_to_first_stale_seconds = availability.time_to_first_stale_seconds;
+  out.outage_seconds = availability.outage_seconds;
+  out.outage_start_seconds = availability.outage_start_seconds;
+  out.hard_down_seconds = availability.hard_down_seconds;
+  out.hard_down_start_seconds = availability.hard_down_start_seconds;
+  out.peak_backlog_fetches = availability.peak_backlog_fetches;
 }
 
 }  // namespace
@@ -48,8 +123,10 @@ std::shared_ptr<const ScenarioRunner::Workload> ScenarioRunner::GetWorkload(
   workload->votes =
       tordir::MakeAllVotes(spec.authority_count, workload->population, pop_config);
   workload->vote_texts.reserve(workload->votes.size());
+  workload->vote_digests.reserve(workload->votes.size());
   for (const tordir::VoteDocument& vote : workload->votes) {
     workload->vote_texts.push_back(tordir::SerializeVote(vote));
+    workload->vote_digests.push_back(torcrypto::Digest256::Of(workload->vote_texts.back()));
   }
   std::lock_guard<std::mutex> lock(workloads_mutex_);
   workloads_[key] = workload;
@@ -159,6 +236,7 @@ ScenarioResult ScenarioRunner::RunWithWorkload(const ScenarioSpec& spec, const W
 
   double latency = 0.0;
   double finish = 0.0;
+  torproto::PublishedConsensus published;  // earliest authority to publish
   for (const torsim::Actor* actor : actors) {
     const torproto::UnifiedOutcome outcome = protocol.ProbeOutcome(*actor);
     if (!outcome.valid_consensus) {
@@ -168,14 +246,32 @@ ScenarioResult ScenarioRunner::RunWithWorkload(const ScenarioSpec& spec, const W
     result.consensus_relays = outcome.consensus_relays;
     latency = std::max(latency, outcome.network_time_seconds);
     finish = std::max(finish, outcome.finish_seconds);
+    const torproto::PublishedConsensus candidate = protocol.ProbeConsensus(*actor);
+    if (candidate.document != nullptr && candidate.published_at < published.published_at) {
+      published = candidate;
+    }
   }
   result.succeeded = result.valid_count > 0;
   if (result.succeeded) {
     result.latency_seconds = latency;
     result.finish_time_seconds = finish;
   }
+  if (published.document != nullptr) {
+    result.consensus_published_seconds = torbase::ToSeconds(published.published_at);
+    result.consensus_valid_after = published.document->valid_after;
+    result.consensus_fresh_until = published.document->fresh_until;
+    result.consensus_valid_until = published.document->valid_until;
+  }
   if (spec.attack != nullptr) {
     result.attack_history = spec.attack->history();
+  }
+
+  if (spec.monitor_health) {
+    AnalyzeHealth(spec, protocol, actors, workload.vote_digests, result);
+  }
+  if (spec.client_load.client_count > 0) {
+    AnalyzeClientLoad(spec, published, workload.vote_texts.empty() ? 0 : workload.vote_texts[0].size(),
+                      result);
   }
 
   if (inspect) {

@@ -72,6 +72,10 @@ class ScenarioRunner {
     std::vector<tordir::RelayStatus> population;
     std::vector<tordir::VoteDocument> votes;
     std::vector<std::string> vote_texts;
+    // Digest of each serialized vote, for the consensus-health monitor (the
+    // simulated authorities are honest, so every copy of authority i's vote
+    // matches this digest — hashed once per workload, not once per probe).
+    std::vector<torcrypto::Digest256> vote_digests;
   };
   using WorkloadKey = std::tuple<size_t, uint64_t, uint32_t>;  // (relays, seed, n)
 

@@ -16,8 +16,10 @@
 
 #include "src/attack/ddos.h"
 #include "src/attack/schedule.h"
+#include "src/clients/population.h"
 #include "src/common/ids.h"
 #include "src/common/time.h"
+#include "src/tordir/health_monitor.h"
 
 namespace torscenario {
 
@@ -69,6 +71,42 @@ struct ScenarioSpec {
   // ICPS knobs (ignored by the lock-step protocols).
   torbase::Duration dissemination_timeout = torbase::Seconds(150);
   bool two_phase_agreement = false;
+
+  // The consumption plane: an aggregate client population fetching this
+  // run's consensus through a tier of directory caches (src/clients).
+  // client_load.client_count == 0 (the default) disables it, leaving the
+  // run's existing metrics untouched.
+  torclients::ClientLoadSpec client_load;
+
+  // Feed the run's observable vote/consensus record through
+  // tordir::HealthMonitor and surface the alerts in the result. Post-run
+  // analysis only; never perturbs the simulation.
+  bool monitor_health = true;
+};
+
+// The client-visible availability of one run, distilled from
+// torclients::ClientAvailability (the per-slice timeline stays in the
+// library; results carry the aggregate surface).
+struct ClientAvailabilityResult {
+  bool enabled = false;  // the spec carried a client load
+
+  double total_fetches = 0.0;
+  double fresh_fetches = 0.0;
+  double stale_fetches = 0.0;
+  double unserved_fetches = 0.0;
+  // Fraction of fetch demand served with a fresh consensus; NaN = no demand.
+  double fresh_fraction = std::numeric_limits<double>::quiet_NaN();
+
+  // First instant the cache tier had no fresh document; NaN = never.
+  double time_to_first_stale_seconds = std::numeric_limits<double>::quiet_NaN();
+  // Client-visible outage: total time with no fresh document available.
+  double outage_seconds = 0.0;
+  double outage_start_seconds = std::numeric_limits<double>::quiet_NaN();
+  // Hard down: total time with no valid document at all (the paper's halt).
+  double hard_down_seconds = 0.0;
+  double hard_down_start_seconds = std::numeric_limits<double>::quiet_NaN();
+  // High-water mark of bootstrapping clients blocked waiting for a document.
+  double peak_backlog_fetches = 0.0;
 };
 
 struct ScenarioResult {
@@ -87,12 +125,51 @@ struct ScenarioResult {
   // (time, victims) pairs the attack schedule applied during this run; empty
   // for unattacked scenarios.
   std::vector<torattack::AttackSample> attack_history;
+
+  // --- consumption plane ----------------------------------------------------
+  // When the *earliest* authority published a valid consensus — the instant
+  // directory caches can start mirroring it. NaN when the run failed.
+  double consensus_published_seconds = std::numeric_limits<double>::quiet_NaN();
+  // Unix validity window of the published document (all zero when none).
+  uint64_t consensus_valid_after = 0;
+  uint64_t consensus_fresh_until = 0;
+  uint64_t consensus_valid_until = 0;
+  // Serialized wire size of the published document; computed only when the
+  // client plane is enabled (0 otherwise — serialization is not free).
+  uint64_t consensus_size_bytes = 0;
+
+  // Populated when spec.client_load.client_count > 0.
+  ClientAvailabilityResult client_availability;
+
+  // Consensus-health alerts for this run (spec.monitor_health); empty when
+  // monitoring is off or the run looked healthy.
+  std::vector<tordir::HealthAlert> health_alerts;
 };
 
 // Field-by-field equality with NaN == NaN (failed runs carry NaN latencies).
 // This is the definition of "bit-identical" that the parallel sweep guarantees
 // against serial execution; keep it in sync with ScenarioResult's fields so
 // the equivalence test and perf_report keep covering all of them.
+// scenario_test's ResultFieldListIsCoveredByBitIdentical pins the field list:
+// adding a member to ScenarioResult (or ClientAvailabilityResult) without
+// extending this comparison fails that test.
+inline bool BitIdentical(const ClientAvailabilityResult& a, const ClientAvailabilityResult& b) {
+  const auto same_double = [](double x, double y) {
+    return (std::isnan(x) && std::isnan(y)) || x == y;
+  };
+  return a.enabled == b.enabled && same_double(a.total_fetches, b.total_fetches) &&
+         same_double(a.fresh_fetches, b.fresh_fetches) &&
+         same_double(a.stale_fetches, b.stale_fetches) &&
+         same_double(a.unserved_fetches, b.unserved_fetches) &&
+         same_double(a.fresh_fraction, b.fresh_fraction) &&
+         same_double(a.time_to_first_stale_seconds, b.time_to_first_stale_seconds) &&
+         same_double(a.outage_seconds, b.outage_seconds) &&
+         same_double(a.outage_start_seconds, b.outage_start_seconds) &&
+         same_double(a.hard_down_seconds, b.hard_down_seconds) &&
+         same_double(a.hard_down_start_seconds, b.hard_down_start_seconds) &&
+         same_double(a.peak_backlog_fetches, b.peak_backlog_fetches);
+}
+
 inline bool BitIdentical(const ScenarioResult& a, const ScenarioResult& b) {
   const auto same_double = [](double x, double y) {
     return (std::isnan(x) && std::isnan(y)) || x == y;
@@ -101,7 +178,14 @@ inline bool BitIdentical(const ScenarioResult& a, const ScenarioResult& b) {
          same_double(a.latency_seconds, b.latency_seconds) &&
          same_double(a.finish_time_seconds, b.finish_time_seconds) &&
          a.consensus_relays == b.consensus_relays && a.total_bytes_sent == b.total_bytes_sent &&
-         a.bytes_by_kind == b.bytes_by_kind && a.attack_history == b.attack_history;
+         a.bytes_by_kind == b.bytes_by_kind && a.attack_history == b.attack_history &&
+         same_double(a.consensus_published_seconds, b.consensus_published_seconds) &&
+         a.consensus_valid_after == b.consensus_valid_after &&
+         a.consensus_fresh_until == b.consensus_fresh_until &&
+         a.consensus_valid_until == b.consensus_valid_until &&
+         a.consensus_size_bytes == b.consensus_size_bytes &&
+         BitIdentical(a.client_availability, b.client_availability) &&
+         a.health_alerts == b.health_alerts;
 }
 
 }  // namespace torscenario

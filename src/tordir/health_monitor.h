@@ -44,6 +44,10 @@ struct HealthAlert {
   // equivocator / signers of forked documents).
   std::vector<torbase::NodeId> authorities;
   std::string detail;
+
+  // ScenarioResult carries alerts, so they participate in the parallel
+  // sweep's BitIdentical equivalence.
+  bool operator==(const HealthAlert&) const = default;
 };
 
 class HealthMonitor {

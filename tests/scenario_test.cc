@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <limits>
 #include <memory>
 
 #include "src/attack/schedule.h"
@@ -282,6 +284,12 @@ TEST(ScenarioTest, ParallelSweepIsBitIdenticalToSerial) {
           spec.churn.push_back({/*node=*/7, /*at=*/Seconds(30), ChurnEvent::Kind::kCrash});
           spec.churn.push_back({/*node=*/7, /*at=*/Minutes(6), ChurnEvent::Kind::kRecover});
         }
+        if (variant == 2) {
+          // Client load exercises the consumption-plane fields (availability
+          // metrics, publish metadata, consensus size) under the identity
+          // contract too.
+          spec.client_load.client_count = 2'000'000;
+        }
         specs.push_back(std::move(spec));
       }
     }
@@ -305,6 +313,210 @@ TEST(ScenarioTest, ParallelSweepIsBitIdenticalToSerial) {
   }
 }
 
+// --- consumption plane -------------------------------------------------------
+
+ScenarioSpec Fig1StyleSpec(bool attacked) {
+  ScenarioSpec spec = SmallSpec("current");
+  spec.relay_count = 800;
+  spec.horizon = torbase::Hours(1);
+  spec.client_load.client_count = 1'000'000;
+  if (attacked) {
+    torattack::AttackWindow window;
+    window.targets = torattack::FirstTargets(5);
+    window.start = 0;
+    window.end = Minutes(5);
+    window.available_bps = torattack::kUnderAttackBps;
+    spec.attack = std::make_shared<torattack::WindowedAttack>(
+        std::vector<torattack::AttackWindow>{window});
+  }
+  return spec;
+}
+
+TEST(ClientPlaneTest, UnattackedRunServesMillionClientsFresh) {
+  ScenarioRunner runner;
+  const auto result = runner.Run(Fig1StyleSpec(/*attacked=*/false));
+  ASSERT_TRUE(result.succeeded);
+
+  // Publish metadata flows out of the protocol probe: published inside the
+  // vote-lead window, with the generator's 1 h / 3 h validity shape.
+  EXPECT_GT(result.consensus_published_seconds, 0.0);
+  EXPECT_LT(result.consensus_published_seconds, 600.0);
+  EXPECT_EQ(result.consensus_fresh_until, result.consensus_valid_after + 3600);
+  EXPECT_EQ(result.consensus_valid_until, result.consensus_valid_after + 3 * 3600);
+  EXPECT_GT(result.consensus_size_bytes, 0u);
+
+  // A million clients, all served fresh: the new document lands before the
+  // prior one goes stale.
+  const auto& clients = result.client_availability;
+  ASSERT_TRUE(clients.enabled);
+  EXPECT_DOUBLE_EQ(clients.total_fetches, 1e6);
+  EXPECT_GT(clients.fresh_fraction, 0.99);
+  EXPECT_EQ(clients.outage_seconds, 0.0);
+  EXPECT_EQ(clients.hard_down_seconds, 0.0);
+  EXPECT_TRUE(std::isnan(clients.time_to_first_stale_seconds));
+}
+
+TEST(ClientPlaneTest, AttackedRunReportsClientVisibleOutage) {
+  // The paper's title claim, client-side: a five-minute flood on 5 of 9
+  // authorities breaks the round, so once the prior consensus goes stale at
+  // the vote lead there is nothing fresh for the rest of the period.
+  ScenarioRunner runner;
+  const auto result = runner.Run(Fig1StyleSpec(/*attacked=*/true));
+  ASSERT_FALSE(result.succeeded);
+  EXPECT_TRUE(std::isnan(result.consensus_published_seconds));
+
+  const auto& clients = result.client_availability;
+  ASSERT_TRUE(clients.enabled);
+  EXPECT_DOUBLE_EQ(clients.time_to_first_stale_seconds, 600.0);
+  EXPECT_DOUBLE_EQ(clients.outage_start_seconds, 600.0);
+  EXPECT_DOUBLE_EQ(clients.outage_seconds, 3000.0);
+  EXPECT_NEAR(clients.fresh_fraction, 600.0 / 3600.0, 1e-9);
+  // Still inside the prior document's validity: degraded, not yet halted.
+  EXPECT_EQ(clients.hard_down_seconds, 0.0);
+}
+
+TEST(ClientPlaneTest, NoClientLoadLeavesTheResultInert) {
+  ScenarioSpec spec = SmallSpec("current");
+  ScenarioRunner runner;
+  const auto result = runner.Run(spec);
+  EXPECT_FALSE(result.client_availability.enabled);
+  EXPECT_EQ(result.consensus_size_bytes, 0u);  // serialization skipped
+  // Publish metadata is probed regardless (it is cheap and deterministic).
+  EXPECT_FALSE(std::isnan(result.consensus_published_seconds));
+}
+
+// --- consensus-health monitor ------------------------------------------------
+
+TEST(HealthMonitorWiringTest, AttackedRunRaisesTheDdosSignature) {
+  ScenarioRunner runner;
+  const auto result = runner.Run(Fig1StyleSpec(/*attacked=*/true));
+
+  bool missing_votes = false;
+  bool no_consensus = false;
+  for (const auto& alert : result.health_alerts) {
+    if (alert.kind == tordir::HealthAlertKind::kMissingVotes) {
+      missing_votes = true;
+      // The five flooded authorities are implicated (their votes moved
+      // nowhere); observers behind clamped links may implicate more.
+      for (torbase::NodeId victim : torattack::FirstTargets(5)) {
+        EXPECT_NE(std::find(alert.authorities.begin(), alert.authorities.end(), victim),
+                  alert.authorities.end())
+            << victim;
+      }
+    }
+    if (alert.kind == tordir::HealthAlertKind::kNoConsensus) {
+      no_consensus = true;
+    }
+  }
+  EXPECT_TRUE(missing_votes);
+  EXPECT_TRUE(no_consensus);
+}
+
+TEST(HealthMonitorWiringTest, HealthyRunsRaiseNoAlertsAcrossProtocols) {
+  ScenarioRunner runner;
+  for (const char* protocol : {"current", "synchronous", "icps"}) {
+    const auto result = runner.Run(SmallSpec(protocol));
+    EXPECT_TRUE(result.health_alerts.empty()) << protocol;
+  }
+}
+
+TEST(HealthMonitorWiringTest, MonitoringCanBeDisabled) {
+  ScenarioSpec spec = Fig1StyleSpec(/*attacked=*/true);
+  spec.monitor_health = false;
+  ScenarioRunner runner;
+  EXPECT_TRUE(runner.Run(spec).health_alerts.empty());
+}
+
+// --- BitIdentical field coverage ---------------------------------------------
+
+// Guards the BitIdentical <-> ScenarioResult contract from both sides:
+// (1) the mutation sweep below proves every *current* field participates in
+// the comparison; (2) the size pin makes adding a field without revisiting
+// BitIdentical (and this test) a compile error on the reference ABI.
+#if defined(__GLIBCXX__) && defined(__x86_64__) && !defined(_GLIBCXX_DEBUG)
+static_assert(sizeof(ScenarioResult) == 272 && sizeof(ClientAvailabilityResult) == 96,
+              "ScenarioResult changed shape: extend BitIdentical (scenario.h), the mutation "
+              "sweep in ResultFieldListIsCoveredByBitIdentical, then update these constants");
+#endif
+
+TEST(ScenarioResultContractTest, ResultFieldListIsCoveredByBitIdentical) {
+  const auto baseline = [] {
+    ScenarioResult r;
+    r.succeeded = true;
+    r.valid_count = 9;
+    r.latency_seconds = 1.0;
+    r.finish_time_seconds = 2.0;
+    r.consensus_relays = 100;
+    r.total_bytes_sent = 1000;
+    r.bytes_by_kind = {{"VOTE", 10}};
+    r.attack_history = {torattack::AttackSample{1, {0}, 2.0}};
+    r.consensus_published_seconds = 3.0;
+    r.consensus_valid_after = 4;
+    r.consensus_fresh_until = 5;
+    r.consensus_valid_until = 6;
+    r.consensus_size_bytes = 7;
+    r.client_availability.enabled = true;
+    r.client_availability.total_fetches = 8.0;
+    r.client_availability.fresh_fetches = 9.0;
+    r.client_availability.stale_fetches = 10.0;
+    r.client_availability.unserved_fetches = 11.0;
+    r.client_availability.fresh_fraction = 0.5;
+    r.client_availability.time_to_first_stale_seconds = 12.0;
+    r.client_availability.outage_seconds = 13.0;
+    r.client_availability.outage_start_seconds = 14.0;
+    r.client_availability.hard_down_seconds = 15.0;
+    r.client_availability.hard_down_start_seconds = 16.0;
+    r.client_availability.peak_backlog_fetches = 17.0;
+    r.health_alerts = {
+        tordir::HealthAlert{tordir::HealthAlertKind::kNoConsensus, {1}, "detail"}};
+    return r;
+  }();
+  ASSERT_TRUE(BitIdentical(baseline, baseline));
+  // NaN == NaN under this equality (failed runs carry NaN latencies).
+  {
+    ScenarioResult a = baseline;
+    ScenarioResult b = baseline;
+    a.latency_seconds = b.latency_seconds = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_TRUE(BitIdentical(a, b));
+  }
+
+  // One mutator per field; BitIdentical must catch each in isolation.
+  const std::vector<std::function<void(ScenarioResult&)>> mutators = {
+      [](ScenarioResult& r) { r.succeeded = false; },
+      [](ScenarioResult& r) { r.valid_count = 0; },
+      [](ScenarioResult& r) { r.latency_seconds += 1; },
+      [](ScenarioResult& r) { r.finish_time_seconds += 1; },
+      [](ScenarioResult& r) { r.consensus_relays += 1; },
+      [](ScenarioResult& r) { r.total_bytes_sent += 1; },
+      [](ScenarioResult& r) { r.bytes_by_kind["VOTE"] += 1; },
+      [](ScenarioResult& r) { r.attack_history[0].at += 1; },
+      [](ScenarioResult& r) { r.consensus_published_seconds += 1; },
+      [](ScenarioResult& r) { r.consensus_valid_after += 1; },
+      [](ScenarioResult& r) { r.consensus_fresh_until += 1; },
+      [](ScenarioResult& r) { r.consensus_valid_until += 1; },
+      [](ScenarioResult& r) { r.consensus_size_bytes += 1; },
+      [](ScenarioResult& r) { r.client_availability.enabled = false; },
+      [](ScenarioResult& r) { r.client_availability.total_fetches += 1; },
+      [](ScenarioResult& r) { r.client_availability.fresh_fetches += 1; },
+      [](ScenarioResult& r) { r.client_availability.stale_fetches += 1; },
+      [](ScenarioResult& r) { r.client_availability.unserved_fetches += 1; },
+      [](ScenarioResult& r) { r.client_availability.fresh_fraction += 0.1; },
+      [](ScenarioResult& r) { r.client_availability.time_to_first_stale_seconds += 1; },
+      [](ScenarioResult& r) { r.client_availability.outage_seconds += 1; },
+      [](ScenarioResult& r) { r.client_availability.outage_start_seconds += 1; },
+      [](ScenarioResult& r) { r.client_availability.hard_down_seconds += 1; },
+      [](ScenarioResult& r) { r.client_availability.hard_down_start_seconds += 1; },
+      [](ScenarioResult& r) { r.client_availability.peak_backlog_fetches += 1; },
+      [](ScenarioResult& r) { r.health_alerts[0].detail += "x"; },
+      [](ScenarioResult& r) { r.health_alerts.clear(); },
+  };
+  for (size_t i = 0; i < mutators.size(); ++i) {
+    ScenarioResult mutated = baseline;
+    mutators[i](mutated);
+    EXPECT_FALSE(BitIdentical(baseline, mutated)) << "mutator " << i;
+  }
+}
+
 // A protocol registered from outside the built-ins participates in dispatch:
 // the registry is genuinely pluggable, not a closed enum in disguise.
 class RenamedIcps : public torproto::DirectoryProtocol {
@@ -320,6 +532,12 @@ class RenamedIcps : public torproto::DirectoryProtocol {
   }
   torproto::UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const override {
     return torproto::GetProtocol("icps").ProbeOutcome(actor);
+  }
+  torproto::PublishedConsensus ProbeConsensus(const torsim::Actor& actor) const override {
+    return torproto::GetProtocol("icps").ProbeConsensus(actor);
+  }
+  std::vector<torbase::NodeId> ProbeVoteSenders(const torsim::Actor& actor) const override {
+    return torproto::GetProtocol("icps").ProbeVoteSenders(actor);
   }
 };
 
