@@ -2,13 +2,77 @@
 // with the series average. The paper reads this from Tor Metrics; we print the
 // synthetic reconstruction whose mean matches the paper's reported 7141.79
 // (DESIGN.md §1 documents the substitution).
+//
+// With --max-relays N the bench instead walks the relay axis itself (1k, 2k,
+// ... doubling up to N, capped at 64k): for each count it builds the 9-vote
+// workload, reports the vote wire size that drives every bandwidth experiment,
+// and times the flat-merge ComputeConsensus — the scaling run that the
+// interned-string aggregation made affordable at 64k relays. --smoke caps the
+// axis at 4k with a single timing rep so CI stays fast.
+//
+// Usage: fig6_relay_series [--max-relays N] [--smoke]
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "src/common/table.h"
+#include "src/tordir/aggregate.h"
+#include "src/tordir/dirspec.h"
 #include "src/tordir/generator.h"
 
-int main() {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kRelayAxisCap = 64000;
+
+int RunRelayAxis(size_t max_relays, bool smoke) {
+  constexpr uint32_t kAuthorities = 9;
+  if (smoke) {
+    max_relays = std::min<size_t>(max_relays, 4000);
+  }
+  max_relays = std::min(max_relays, kRelayAxisCap);
+
+  std::printf("=== Figure 6 relay axis: consensus cost up to %zu relays ===\n\n", max_relays);
+  torbase::Table table({"Relays", "Vote KB", "Consensus relays", "Aggregate ms", "Relays/s"});
+  bool ok = true;
+  for (size_t relays = 1000; relays <= max_relays; relays *= 2) {
+    tordir::PopulationConfig config;
+    config.relay_count = relays;
+    config.seed = 3;
+    const auto population = tordir::GeneratePopulation(config);
+    const auto votes = tordir::MakeAllVotes(kAuthorities, population, config);
+    const size_t vote_bytes = tordir::SerializeVote(votes[0]).size();
+
+    auto consensus = tordir::ComputeConsensus(votes);  // warm-up
+    const int reps = smoke ? 1 : (relays >= 32000 ? 3 : 10);
+    const auto start = Clock::now();
+    for (int i = 0; i < reps; ++i) {
+      consensus = tordir::ComputeConsensus(votes);
+    }
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count() / reps;
+
+    ok = ok && consensus.relays.size() > relays * 9 / 10 &&
+         consensus.relays.size() <= relays;
+    table.AddRow({torbase::Table::Num(static_cast<double>(relays), 0),
+                  torbase::Table::Num(static_cast<double>(vote_bytes) / 1024.0, 1),
+                  torbase::Table::Num(static_cast<double>(consensus.relays.size()), 0),
+                  torbase::Table::Num(seconds * 1e3, 2),
+                  torbase::Table::Num(static_cast<double>(relays) / seconds, 0)});
+  }
+  table.Print(std::cout);
+  if (!ok) {
+    std::fprintf(stderr, "REGRESSION: consensus relay counts off the expected band\n");
+    return 1;
+  }
+  return 0;
+}
+
+int RunTimeSeries() {
   std::printf("=== Figure 6: number of Tor relays over time ===\n\n");
   const auto series = tordir::RelayCountSeries();
   torbase::Table table({"Month", "Relays"});
@@ -22,4 +86,25 @@ int main() {
   std::printf("\nSeries average: %.2f relays (paper reports %.2f)\n", mean,
               tordir::kPaperAverageRelayCount);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t max_relays = 0;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-relays") == 0 && i + 1 < argc) {
+      max_relays = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--max-relays N] [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (max_relays > 0 || smoke) {
+    return RunRelayAxis(max_relays > 0 ? max_relays : kRelayAxisCap, smoke);
+  }
+  return RunTimeSeries();
 }

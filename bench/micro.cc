@@ -133,6 +133,9 @@ void BM_ParseVote(benchmark::State& state) {
 }
 BENCHMARK(BM_ParseVote)->Arg(1000)->Arg(8000);
 
+// The flat-merge aggregation hot path; items/s is relays aggregated per
+// second (the `aggregate` row of BENCH_sweep.json tracks the same number at
+// 1k/8k/64k relays). Pre-refactor map-based baseline at 8k x 9: ~78 ms/op.
 void BM_ComputeConsensus(benchmark::State& state) {
   tordir::PopulationConfig config;
   config.relay_count = static_cast<size_t>(state.range(0));
@@ -142,7 +145,21 @@ void BM_ComputeConsensus(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(tordir::ComputeConsensus(votes));
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
 }
-BENCHMARK(BM_ComputeConsensus)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_ComputeConsensus)->Arg(1000)->Arg(4000)->Arg(8000);
+
+// Cost of handing a vote document to an actor: with interned relay strings
+// this is a flat vector copy, the property the scenario runner's per-cell
+// actor construction leans on at large n.
+void BM_CopyVoteDocument(benchmark::State& state) {
+  const auto vote = MakeBenchVote(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    tordir::VoteDocument copy = vote;
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_CopyVoteDocument)->Arg(8000);
 
 }  // namespace

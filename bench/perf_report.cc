@@ -29,6 +29,8 @@
 #include "src/scenario/runner.h"
 #include "src/sim/event_probe.h"
 #include "src/sim/simulator.h"
+#include "src/tordir/aggregate.h"
+#include "src/tordir/generator.h"
 
 namespace {
 
@@ -154,6 +156,59 @@ ClientPlaneMicro MeasureClientPlane() {
   return micro;
 }
 
+struct AggregatePoint {
+  size_t relays = 0;
+  double relays_per_second = 0.0;
+  double millis_per_op = 0.0;
+};
+
+struct AggregateMicro {
+  // ComputeConsensus throughput across the relay axis (9 authorities), plus
+  // the steady-state allocation rate — the flat-merge + interned-strings
+  // contract (O(n·a) time, O(1) allocations; see src/tordir/aggregate.h).
+  std::vector<AggregatePoint> points;
+  double allocations_per_relay = 0.0;
+};
+
+// Times the consensus aggregation hot path at 1k/8k/64k relays (1k/8k in
+// --quick). Pre-refactor map-based baseline at 8k x 9: ~78 ms/op, ~102k
+// relays/s on the CI container class of hardware.
+AggregateMicro MeasureAggregate(bool quick) {
+  constexpr uint32_t kAuthorities = 9;
+  const std::vector<size_t> relay_counts =
+      quick ? std::vector<size_t>{1000, 8000} : std::vector<size_t>{1000, 8000, 64000};
+
+  AggregateMicro micro;
+  for (const size_t relays : relay_counts) {
+    tordir::PopulationConfig config;
+    config.relay_count = relays;
+    config.seed = 3;
+    const auto population = tordir::GeneratePopulation(config);
+    const auto votes = tordir::MakeAllVotes(kAuthorities, population, config);
+
+    size_t consensus_relays = tordir::ComputeConsensus(votes).relays.size();  // warm-up
+    const int rounds = relays >= 64000 ? 3 : (relays >= 8000 ? 10 : 40);
+    const uint64_t allocs_before = AllocationCount();
+    const auto start = Clock::now();
+    for (int i = 0; i < rounds; ++i) {
+      consensus_relays = tordir::ComputeConsensus(votes).relays.size();
+    }
+    const double elapsed = SecondsSince(start);
+    const uint64_t allocs = AllocationCount() - allocs_before;
+
+    AggregatePoint point;
+    point.relays = relays;
+    point.millis_per_op = elapsed / rounds * 1e3;
+    point.relays_per_second = static_cast<double>(relays) * rounds / elapsed;
+    micro.points.push_back(point);
+    if (relays == 8000) {
+      micro.allocations_per_relay = static_cast<double>(allocs) / rounds /
+                                    static_cast<double>(consensus_relays);
+    }
+  }
+  return micro;
+}
+
 struct EventMicro {
   double schedule_fire_ns = 0.0;
   double schedule_cancel_ns = 0.0;
@@ -227,6 +282,15 @@ int main(int argc, char** argv) {
   std::printf("  schedule->cancel: %7.1f ns/event\n", micro.schedule_cancel_ns);
   std::printf("  allocations     : %7.3f per event\n\n", micro.allocations_per_event);
 
+  std::printf("aggregate micro (ComputeConsensus, 9 authorities)...\n");
+  const AggregateMicro aggregate = MeasureAggregate(quick);
+  for (const AggregatePoint& point : aggregate.points) {
+    std::printf("  %6zu relays : %8.2f ms/op  (%.2e relays/s)\n", point.relays,
+                point.millis_per_op, point.relays_per_second);
+  }
+  std::printf("  allocations     : %7.4f per aggregated relay (8k)\n\n",
+              aggregate.allocations_per_relay);
+
   std::printf("client plane (5M clients, 24 h replay, closed-form flows)...\n");
   const ClientPlaneMicro clients = MeasureClientPlane();
   std::printf("  16-cache run    : %7.1f us  (%.2e fetches/s)\n", clients.run_micros_16_caches,
@@ -269,6 +333,16 @@ int main(int argc, char** argv) {
        << "  \"parallel_seconds\": " << parallel_seconds << ",\n"
        << "  \"speedup\": " << speedup << ",\n"
        << "  \"parallel_identical_to_serial\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"aggregate\": {\n";
+  for (size_t i = 0; i < aggregate.points.size(); ++i) {
+    const AggregatePoint& point = aggregate.points[i];
+    json << "    \"relays_per_second_" << point.relays / 1000 << "k\": "
+         << point.relays_per_second << ",\n"
+         << "    \"millis_per_op_" << point.relays / 1000 << "k\": " << point.millis_per_op
+         << ",\n";
+  }
+  json << "    \"allocations_per_relay\": " << aggregate.allocations_per_relay << "\n"
+       << "  },\n"
        << "  \"event_schedule_fire_ns\": " << micro.schedule_fire_ns << ",\n"
        << "  \"event_schedule_cancel_ns\": " << micro.schedule_cancel_ns << ",\n"
        << "  \"event_allocations_per_event\": " << micro.allocations_per_event << ",\n"
@@ -288,6 +362,11 @@ int main(int argc, char** argv) {
   if (micro.allocations_per_event > 0.0) {
     std::fprintf(stderr, "REGRESSION: event hot path allocates (%f per event)\n",
                  micro.allocations_per_event);
+    return 1;
+  }
+  if (aggregate.allocations_per_relay > 0.05) {
+    std::fprintf(stderr, "REGRESSION: consensus aggregation allocates (%f per relay)\n",
+                 aggregate.allocations_per_relay);
     return 1;
   }
   return 0;

@@ -32,6 +32,11 @@ class Writer {
   // Raw bytes with no length prefix (caller knows the framing).
   void WriteRaw(std::span<const uint8_t> data);
 
+  // Pre-sizes the buffer for `additional` more bytes. Callers framing a
+  // multi-megabyte payload (vote posts, document fetch responses) reserve
+  // once instead of paying repeated geometric regrowth copies.
+  void Reserve(size_t additional) { buffer_.reserve(buffer_.size() + additional); }
+
   const Bytes& buffer() const { return buffer_; }
   Bytes TakeBuffer() { return std::move(buffer_); }
   size_t size() const { return buffer_.size(); }

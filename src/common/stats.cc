@@ -6,7 +6,9 @@
 
 namespace torbase {
 
-uint64_t MedianLow(std::vector<uint64_t> values) {
+uint64_t MedianLow(std::vector<uint64_t> values) { return MedianLowInPlace(values); }
+
+uint64_t MedianLowInPlace(std::span<uint64_t> values) {
   if (values.empty()) {
     return 0;
   }

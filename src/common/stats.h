@@ -4,6 +4,7 @@
 #define SRC_COMMON_STATS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace torbase {
@@ -12,6 +13,11 @@ namespace torbase {
 // (dir-spec: the middle element after sorting, lower one on ties). Input is
 // copied; returns 0 for an empty vector.
 uint64_t MedianLow(std::vector<uint64_t> values);
+
+// Same convention, partially reordering `values` in place instead of copying
+// — the allocation-free form the consensus aggregation hot path uses on its
+// reusable scratch. Returns 0 for an empty span.
+uint64_t MedianLowInPlace(std::span<uint64_t> values);
 
 // Arithmetic mean; 0.0 for an empty vector.
 double Mean(const std::vector<double>& values);

@@ -17,17 +17,28 @@ constexpr const char* kKindConsensusSig = "CONSENSUS_SIG";
 }  // namespace
 
 IcpsAuthority::IcpsAuthority(const IcpsConfig& config, const torcrypto::KeyDirectory* directory,
-                             tordir::VoteDocument own_vote, std::string own_vote_text)
+                             std::shared_ptr<const tordir::VoteDocument> own_vote,
+                             std::shared_ptr<const std::string> own_vote_text,
+                             std::shared_ptr<const tordir::VoteCache> vote_cache)
     : config_(config),
       directory_(directory),
-      signer_(directory->SignerFor(own_vote.authority)),
+      signer_(directory->SignerFor(own_vote->authority)),
       own_vote_(std::move(own_vote)),
-      own_vote_text_(std::move(own_vote_text)) {
-  if (own_vote_text_.empty()) {
-    own_vote_text_ = tordir::SerializeVote(own_vote_);
+      own_vote_text_(std::move(own_vote_text)),
+      vote_cache_(std::move(vote_cache)) {
+  if (own_vote_text_ == nullptr) {
+    own_vote_text_ = std::make_shared<const std::string>(tordir::SerializeVote(*own_vote_));
   }
-  own_digest_ = torcrypto::Digest256::Of(own_vote_text_);
+  own_digest_ = torcrypto::Digest256::Of(*own_vote_text_);
 }
+
+IcpsAuthority::IcpsAuthority(const IcpsConfig& config, const torcrypto::KeyDirectory* directory,
+                             tordir::VoteDocument own_vote, std::string own_vote_text)
+    : IcpsAuthority(config, directory,
+                    std::make_shared<const tordir::VoteDocument>(std::move(own_vote)),
+                    own_vote_text.empty()
+                        ? nullptr
+                        : std::make_shared<const std::string>(std::move(own_vote_text))) {}
 
 void IcpsAuthority::Start() {
   // Self-delivery of our own document.
@@ -58,11 +69,12 @@ void IcpsAuthority::Start() {
 }
 
 void IcpsAuthority::BroadcastDocument() {
-  log().Notice(now(), "Disseminating vote document (" + std::to_string(own_vote_text_.size()) +
+  log().Notice(now(), "Disseminating vote document (" + std::to_string(own_vote_text_->size()) +
                           " bytes).");
   torbase::Writer w;
+  w.Reserve(own_vote_text_->size() + 128);
   w.WriteU8(kDocument);
-  w.WriteString(own_vote_text_);
+  w.WriteString(*own_vote_text_);
   w.WriteRaw(own_digest_.span());
   const torcrypto::Signature sig = documents_.at(id()).sender_sig;
   w.WriteU32(sig.signer);
@@ -127,10 +139,20 @@ void IcpsAuthority::HandleDocument(torbase::NodeId from, torbase::Reader& r) {
     log().Warn(now(), "Bad document signature from " + std::to_string(from));
     return;
   }
-  StoreDocument(from, *text, digest, sig);
+  StoreDocument(from, ShareText(std::move(*text), digest), digest, sig);
 }
 
-void IcpsAuthority::StoreDocument(torbase::NodeId sender, const std::string& text,
+std::shared_ptr<const std::string> IcpsAuthority::ShareText(std::string text,
+                                                            const torcrypto::Digest256& digest) {
+  // A digest hit in the workload cache means these bytes are a canonical vote
+  // we can reference instead of retaining a private multi-megabyte copy.
+  if (const tordir::CachedVote* cached = tordir::VoteCache::FindIn(vote_cache_, digest)) {
+    return cached->text;
+  }
+  return std::make_shared<const std::string>(std::move(text));
+}
+
+void IcpsAuthority::StoreDocument(torbase::NodeId sender, std::shared_ptr<const std::string> text,
                                   const torcrypto::Digest256& digest,
                                   const torcrypto::Signature& sender_sig) {
   auto it = documents_.find(sender);
@@ -141,11 +163,11 @@ void IcpsAuthority::StoreDocument(torbase::NodeId sender, const std::string& tex
       // when different nodes received different versions.
       log().Warn(now(), "Authority " + std::to_string(sender) +
                             " equivocated its vote document.");
-      equivocations_.emplace(sender, ReceivedDoc{digest, text, sender_sig});
+      equivocations_.emplace(sender, ReceivedDoc{digest, std::move(text), sender_sig});
     }
     return;
   }
-  documents_.emplace(sender, ReceivedDoc{digest, text, sender_sig});
+  documents_.emplace(sender, ReceivedDoc{digest, std::move(text), sender_sig});
   if (documents_.size() == config_.authority_count &&
       outcome_.documents_complete_at == torbase::kTimeNever) {
     outcome_.documents_complete_at = now();
@@ -292,9 +314,10 @@ void IcpsAuthority::HandleDocRequest(torbase::NodeId from, torbase::Reader& r) {
     return;  // we hold a different version; not useful
   }
   torbase::Writer w;
+  w.Reserve(it->second.text->size() + 128);
   w.WriteU8(kDocResponse);
   w.WriteU32(*j);
-  w.WriteString(it->second.text);
+  w.WriteString(*it->second.text);
   w.WriteU32(it->second.sender_sig.signer);
   w.WriteRaw(it->second.sender_sig.bytes);
   SendTo(from, kKindDocFetch, w.TakeBuffer());
@@ -325,7 +348,7 @@ void IcpsAuthority::HandleDocResponse(torbase::NodeId from, torbase::Reader& r) 
   }
   ReceivedDoc doc;
   doc.digest = digest;
-  doc.text = *text;
+  doc.text = ShareText(std::move(*text), digest);
   doc.sender_sig = sig;
   documents_[*j] = std::move(doc);
   pending_fetches_.erase(*j);
@@ -337,25 +360,35 @@ void IcpsAuthority::MaybeFinishAggregation() {
       !pending_fetches_.empty()) {
     return;
   }
-  // All agreed documents present: aggregate exactly the non-⟂ entries.
-  std::vector<tordir::VoteDocument> votes;
+  // All agreed documents present: aggregate exactly the non-⟂ entries. The
+  // agreed digests are the canonical workload votes in the honest runs, so
+  // the cache turns this into pointer lookups; a miss parses as before.
+  std::vector<std::shared_ptr<const tordir::VoteDocument>> votes;
   votes.reserve(agreed_vector_->entries.size());
   for (torbase::NodeId j = 0; j < config_.authority_count; ++j) {
     const VectorEntry& entry = agreed_vector_->entries[j];
     if (!entry.NonEmpty()) {
       continue;
     }
-    auto parsed = tordir::ParseVote(documents_.at(j).text);
-    if (!parsed.ok()) {
-      log().Err(now(), "Agreed document " + std::to_string(j) + " failed to parse.");
-      continue;
+    const ReceivedDoc& doc = documents_.at(j);
+    std::shared_ptr<const tordir::VoteDocument> document;
+    if (const tordir::CachedVote* cached = tordir::VoteCache::FindIn(vote_cache_, doc.digest)) {
+      document = cached->document;
     }
-    votes.push_back(std::move(*parsed));
+    if (document == nullptr) {
+      auto parsed = tordir::ParseVote(*doc.text);
+      if (!parsed.ok()) {
+        log().Err(now(), "Agreed document " + std::to_string(j) + " failed to parse.");
+        continue;
+      }
+      document = std::make_shared<const tordir::VoteDocument>(std::move(*parsed));
+    }
+    votes.push_back(std::move(document));
   }
   std::vector<const tordir::VoteDocument*> vote_ptrs;
   vote_ptrs.reserve(votes.size());
   for (const auto& vote : votes) {
-    vote_ptrs.push_back(&vote);
+    vote_ptrs.push_back(vote.get());
   }
   outcome_.consensus = tordir::ComputeConsensus(vote_ptrs, config_.aggregation);
   consensus_digest_ = tordir::ConsensusDigest(outcome_.consensus);

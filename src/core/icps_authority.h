@@ -20,6 +20,7 @@
 #define SRC_CORE_ICPS_AUTHORITY_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -79,9 +80,15 @@ struct IcpsOutcome {
 
 class IcpsAuthority : public torsim::Actor {
  public:
-  // `own_vote_text` is the serialized form of `own_vote`; pass it when already
-  // computed (the scenario runner caches it per workload), otherwise it is
-  // serialized here.
+  // Shared immutable inputs: the authority's own vote document, its
+  // serialized form (null = serialize here) and the workload's pre-parsed
+  // vote cache (null = parse agreed documents from scratch).
+  IcpsAuthority(const IcpsConfig& config, const torcrypto::KeyDirectory* directory,
+                std::shared_ptr<const tordir::VoteDocument> own_vote,
+                std::shared_ptr<const std::string> own_vote_text = nullptr,
+                std::shared_ptr<const tordir::VoteCache> vote_cache = nullptr);
+
+  // Convenience for tests and drivers that own a plain document.
   IcpsAuthority(const IcpsConfig& config, const torcrypto::KeyDirectory* directory,
                 tordir::VoteDocument own_vote, std::string own_vote_text = {});
 
@@ -142,24 +149,30 @@ class IcpsAuthority : public torsim::Actor {
   void HandleConsensusSig(torbase::NodeId from, torbase::Reader& r);
   void AcceptConsensusSig(const torcrypto::Signature& sig);
 
+  // Returns the canonical shared text for `text` when its digest matches a
+  // workload-cache entry, otherwise wraps the received copy.
+  std::shared_ptr<const std::string> ShareText(std::string text,
+                                               const torcrypto::Digest256& digest);
   // Stores a received document (first version wins; a second, different
   // version is retained as equivocation evidence).
-  void StoreDocument(torbase::NodeId sender, const std::string& text,
+  void StoreDocument(torbase::NodeId sender, std::shared_ptr<const std::string> text,
                      const torcrypto::Digest256& digest, const torcrypto::Signature& sender_sig);
 
   IcpsConfig config_;
   const torcrypto::KeyDirectory* directory_;
   torcrypto::Signer signer_;
-  tordir::VoteDocument own_vote_;
-  std::string own_vote_text_;
+  std::shared_ptr<const tordir::VoteDocument> own_vote_;
+  std::shared_ptr<const std::string> own_vote_text_;
+  std::shared_ptr<const tordir::VoteCache> vote_cache_;
   torcrypto::Digest256 own_digest_;
 
   // Documents received: sender -> (digest, text). First valid one wins; a
   // second, different digest from the same sender is kept as equivocation
-  // evidence.
+  // evidence. Texts are shared with the workload cache whenever the received
+  // bytes match a canonical vote.
   struct ReceivedDoc {
     torcrypto::Digest256 digest;
-    std::string text;
+    std::shared_ptr<const std::string> text;
     torcrypto::Signature sender_sig;
   };
   std::map<torbase::NodeId, ReceivedDoc> documents_;

@@ -56,10 +56,6 @@ void Sha256::Update(std::span<const uint8_t> data) {
   }
 }
 
-void Sha256::Update(std::string_view data) {
-  Update(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(data.data()), data.size()));
-}
-
 std::array<uint8_t, kSha256DigestSize> Sha256::Finish() {
   const uint64_t bit_length = total_bytes_ * 8;
   // Padding: 0x80 then zeros until 8 bytes remain in the block, then the length.
@@ -135,12 +131,6 @@ void Sha256::ProcessBlock(const uint8_t* block) {
 }
 
 std::array<uint8_t, kSha256DigestSize> Sha256Digest(std::span<const uint8_t> data) {
-  Sha256 ctx;
-  ctx.Update(data);
-  return ctx.Finish();
-}
-
-std::array<uint8_t, kSha256DigestSize> Sha256Digest(std::string_view data) {
   Sha256 ctx;
   ctx.Update(data);
   return ctx.Finish();

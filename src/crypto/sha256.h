@@ -14,13 +14,19 @@ namespace torcrypto {
 constexpr size_t kSha256DigestSize = 32;
 constexpr size_t kSha256BlockSize = 64;
 
+// Reinterprets text as the byte span the hashing core consumes; the single
+// point where the string_view and span entry points converge.
+inline std::span<const uint8_t> AsByteSpan(std::string_view data) {
+  return {reinterpret_cast<const uint8_t*>(data.data()), data.size()};
+}
+
 // Incremental hashing context.
 class Sha256 {
  public:
   Sha256();
 
   void Update(std::span<const uint8_t> data);
-  void Update(std::string_view data);
+  void Update(std::string_view data) { Update(AsByteSpan(data)); }
 
   // Finalizes and returns the digest. The context must not be reused after
   // Finish() without Reset().
@@ -37,9 +43,11 @@ class Sha256 {
   size_t buffered_ = 0;
 };
 
-// One-shot helpers.
+// One-shot helpers; the string_view form forwards to the span implementation.
 std::array<uint8_t, kSha256DigestSize> Sha256Digest(std::span<const uint8_t> data);
-std::array<uint8_t, kSha256DigestSize> Sha256Digest(std::string_view data);
+inline std::array<uint8_t, kSha256DigestSize> Sha256Digest(std::string_view data) {
+  return Sha256Digest(AsByteSpan(data));
+}
 
 }  // namespace torcrypto
 

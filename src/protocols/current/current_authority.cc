@@ -17,16 +17,28 @@ constexpr const char* kKindSigFetch = "SIG_FETCH";
 
 CurrentAuthority::CurrentAuthority(const ProtocolConfig& config,
                                    const torcrypto::KeyDirectory* directory,
-                                   tordir::VoteDocument own_vote, std::string own_vote_text)
+                                   std::shared_ptr<const tordir::VoteDocument> own_vote,
+                                   std::shared_ptr<const std::string> own_vote_text,
+                                   std::shared_ptr<const tordir::VoteCache> vote_cache)
     : config_(config),
       directory_(directory),
-      signer_(directory->SignerFor(own_vote.authority)),
+      signer_(directory->SignerFor(own_vote->authority)),
       own_vote_(std::move(own_vote)),
-      own_vote_text_(std::move(own_vote_text)) {
-  if (own_vote_text_.empty()) {
-    own_vote_text_ = tordir::SerializeVote(own_vote_);
+      own_vote_text_(std::move(own_vote_text)),
+      vote_cache_(std::move(vote_cache)) {
+  if (own_vote_text_ == nullptr) {
+    own_vote_text_ = std::make_shared<const std::string>(tordir::SerializeVote(*own_vote_));
   }
 }
+
+CurrentAuthority::CurrentAuthority(const ProtocolConfig& config,
+                                   const torcrypto::KeyDirectory* directory,
+                                   tordir::VoteDocument own_vote, std::string own_vote_text)
+    : CurrentAuthority(config, directory,
+                       std::make_shared<const tordir::VoteDocument>(std::move(own_vote)),
+                       own_vote_text.empty()
+                           ? nullptr
+                           : std::make_shared<const std::string>(std::move(own_vote_text))) {}
 
 void CurrentAuthority::Start() {
   votes_[id()] = own_vote_;
@@ -43,9 +55,10 @@ void CurrentAuthority::Start() {
 void CurrentAuthority::BeginVoteRound() {
   log().Notice(now(), "Time to vote.");
   torbase::Writer w;
+  w.Reserve(own_vote_text_->size() + 32);
   w.WriteU8(kVotePost);
   w.WriteU64(now());  // posted_at
-  w.WriteString(own_vote_text_);
+  w.WriteString(*own_vote_text_);
   SendToAllOthers(kKindVote, w.buffer());
 }
 
@@ -118,7 +131,7 @@ void CurrentAuthority::BeginComputeRound() {
   std::vector<const tordir::VoteDocument*> vote_ptrs;
   vote_ptrs.reserve(votes_.size());
   for (const auto& [authority, vote] : votes_) {
-    vote_ptrs.push_back(&vote);
+    vote_ptrs.push_back(vote.get());
   }
   outcome_.consensus = tordir::ComputeConsensus(vote_ptrs, config_.aggregation);
   outcome_.computed_consensus = true;
@@ -219,10 +232,7 @@ void CurrentAuthority::HandleVoteRequest(NodeId from, torbase::Reader& reader) {
   if (!request_time.ok() || !count.ok()) {
     return;
   }
-  torbase::Writer w;
-  w.WriteU8(kVoteResponse);
-  w.WriteU64(*request_time);
-  std::vector<std::string> served;
+  std::vector<const std::string*> served;
   for (uint32_t i = 0; i < *count; ++i) {
     auto wanted = reader.ReadU32();
     if (!wanted.ok()) {
@@ -230,15 +240,23 @@ void CurrentAuthority::HandleVoteRequest(NodeId from, torbase::Reader& reader) {
     }
     auto it = vote_texts_.find(*wanted);
     if (it != vote_texts_.end()) {
-      served.push_back(it->second);
+      served.push_back(it->second.get());
     }
   }
   if (served.empty()) {
     return;
   }
+  size_t payload_bytes = 32;
+  for (const std::string* text : served) {
+    payload_bytes += text->size() + 4;
+  }
+  torbase::Writer w;
+  w.Reserve(payload_bytes);
+  w.WriteU8(kVoteResponse);
+  w.WriteU64(*request_time);
   w.WriteU32(static_cast<uint32_t>(served.size()));
-  for (const auto& text : served) {
-    w.WriteString(text);
+  for (const std::string* text : served) {
+    w.WriteString(*text);
   }
   SendTo(from, kKindVoteFetch, w.TakeBuffer());
 }
@@ -262,17 +280,31 @@ void CurrentAuthority::HandleVoteResponse(NodeId, torbase::Reader& reader) {
 }
 
 void CurrentAuthority::AcceptVote(const std::string& text) {
-  auto parsed = tordir::ParseVote(text);
-  if (!parsed.ok()) {
-    log().Warn(now(), "Rejecting unparseable vote: " + parsed.status().ToString());
-    return;
+  // Hash first: a digest hit in the workload cache proves the bytes are a
+  // canonical vote we already hold parsed, so ParseVote (and a private copy
+  // of the multi-megabyte text) can be skipped entirely. Byte-equal texts
+  // parse to identical documents, so behaviour is unchanged.
+  std::shared_ptr<const tordir::VoteDocument> document;
+  std::shared_ptr<const std::string> text_ptr;
+  if (const tordir::CachedVote* cached = tordir::VoteCache::FindIn(vote_cache_, text)) {
+    document = cached->document;
+    text_ptr = cached->text;
   }
-  const NodeId authority = parsed->authority;
+  if (document == nullptr) {
+    auto parsed = tordir::ParseVote(text);
+    if (!parsed.ok()) {
+      log().Warn(now(), "Rejecting unparseable vote: " + parsed.status().ToString());
+      return;
+    }
+    document = std::make_shared<const tordir::VoteDocument>(std::move(*parsed));
+    text_ptr = std::make_shared<const std::string>(text);
+  }
+  const NodeId authority = document->authority;
   if (authority >= node_count() || votes_.count(authority) > 0) {
     return;  // out of range or duplicate
   }
-  votes_.emplace(authority, std::move(*parsed));
-  vote_texts_.emplace(authority, text);
+  votes_.emplace(authority, std::move(document));
+  vote_texts_.emplace(authority, std::move(text_ptr));
   outstanding_vote_fetches_.erase(authority);
   MaybeRecordVoteCompletion();
 }

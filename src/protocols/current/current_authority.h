@@ -17,6 +17,7 @@
 #define SRC_PROTOCOLS_CURRENT_CURRENT_AUTHORITY_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -33,9 +34,17 @@ namespace torproto {
 class CurrentAuthority : public torsim::Actor {
  public:
   // `directory` must outlive the actor. The authority signs with the key for
-  // its node id. `own_vote_text` is the serialized form of `own_vote`; pass it
-  // when already computed (the scenario runner caches it per workload),
-  // otherwise it is serialized here.
+  // its node id. All shared inputs are immutable: `own_vote` is the
+  // authority's vote document, `own_vote_text` its serialized form (null =
+  // serialize here) and `vote_cache` the workload's digest-keyed pre-parsed
+  // votes (null = parse received votes from scratch). The scenario runner
+  // shares one set of documents across every cell and run.
+  CurrentAuthority(const ProtocolConfig& config, const torcrypto::KeyDirectory* directory,
+                   std::shared_ptr<const tordir::VoteDocument> own_vote,
+                   std::shared_ptr<const std::string> own_vote_text = nullptr,
+                   std::shared_ptr<const tordir::VoteCache> vote_cache = nullptr);
+
+  // Convenience for tests and drivers that own a plain document.
   CurrentAuthority(const ProtocolConfig& config, const torcrypto::KeyDirectory* directory,
                    tordir::VoteDocument own_vote, std::string own_vote_text = {});
 
@@ -93,12 +102,16 @@ class CurrentAuthority : public torsim::Actor {
   ProtocolConfig config_;
   const torcrypto::KeyDirectory* directory_;
   torcrypto::Signer signer_;
-  tordir::VoteDocument own_vote_;
-  std::string own_vote_text_;
+  std::shared_ptr<const tordir::VoteDocument> own_vote_;
+  std::shared_ptr<const std::string> own_vote_text_;
+  std::shared_ptr<const tordir::VoteCache> vote_cache_;
 
-  // Votes received (and their serialized form, for re-serving fetches).
-  std::map<NodeId, tordir::VoteDocument> votes_;
-  std::map<NodeId, std::string> vote_texts_;
+  // Votes received (and their serialized form, for re-serving fetches). The
+  // documents are shared with the workload cache whenever the received bytes
+  // match a canonical vote, so holding "a copy" of every vote costs pointers,
+  // not megabytes.
+  std::map<NodeId, std::shared_ptr<const tordir::VoteDocument>> votes_;
+  std::map<NodeId, std::shared_ptr<const std::string>> vote_texts_;
 
   // Signatures over our computed consensus digest.
   std::map<NodeId, torcrypto::Signature> signatures_;

@@ -65,6 +65,22 @@ struct PublishedConsensus {
   const torcrypto::Digest256* digest = nullptr;
 };
 
+// The immutable inputs an authority actor shares with its workload instead of
+// copying: its own vote document and serialized bytes, plus the workload's
+// digest-keyed cache of every authority's pre-parsed vote. All three are
+// read-only after construction, which is what lets sweep cells on different
+// threads share them (see the threading contract in ROADMAP.md). `vote_text`
+// may be null (serialize on demand); `vote_cache` may be null (parse received
+// votes from scratch, the pre-cache behaviour).
+struct AuthorityMaterials {
+  std::shared_ptr<const tordir::VoteDocument> vote;
+  std::shared_ptr<const std::string> vote_text;
+  std::shared_ptr<const tordir::VoteCache> vote_cache;
+
+  // Convenience for tests and drivers that own a plain document.
+  static AuthorityMaterials Own(tordir::VoteDocument vote, std::string vote_text = {});
+};
+
 class DirectoryProtocol {
  public:
   virtual ~DirectoryProtocol() = default;
@@ -74,14 +90,13 @@ class DirectoryProtocol {
   // Column label for tables and figures, e.g. "Current" or "Ours".
   virtual std::string_view display_name() const = 0;
 
-  // Builds authority `id`'s actor. `directory` outlives the actor; `vote` is
-  // the authority's own vote document and `vote_text` its serialized form
-  // (empty = serialize on demand). The scenario runner passes the cached
-  // serialization so sweep cells don't re-serialize multi-megabyte votes per
-  // authority per run.
+  // Builds authority `id`'s actor. `directory` outlives the actor;
+  // `materials` carries the authority's own (shared, immutable) vote document
+  // and text plus the workload vote cache, so sweep cells never re-serialize,
+  // re-parse or deep-copy multi-megabyte votes per authority per run.
   virtual std::unique_ptr<torsim::Actor> MakeAuthority(
       const ProtocolRunConfig& config, const torcrypto::KeyDirectory* directory,
-      torbase::NodeId id, tordir::VoteDocument vote, std::string vote_text = {}) const = 0;
+      torbase::NodeId id, AuthorityMaterials materials) const = 0;
 
   // Reads the unified outcome back out of an actor this protocol created.
   virtual UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const = 0;

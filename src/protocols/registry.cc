@@ -22,12 +22,13 @@ class CurrentProtocol : public DirectoryProtocol {
 
   std::unique_ptr<torsim::Actor> MakeAuthority(const ProtocolRunConfig& config,
                                                const torcrypto::KeyDirectory* directory,
-                                               torbase::NodeId /*id*/, tordir::VoteDocument vote,
-                                               std::string vote_text) const override {
+                                               torbase::NodeId /*id*/,
+                                               AuthorityMaterials materials) const override {
     ProtocolConfig proto_config;
     proto_config.authority_count = config.authority_count;
-    return std::make_unique<CurrentAuthority>(proto_config, directory, std::move(vote),
-                                              std::move(vote_text));
+    return std::make_unique<CurrentAuthority>(proto_config, directory, std::move(materials.vote),
+                                              std::move(materials.vote_text),
+                                              std::move(materials.vote_cache));
   }
 
   UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const override {
@@ -72,12 +73,13 @@ class SynchronousProtocol : public DirectoryProtocol {
 
   std::unique_ptr<torsim::Actor> MakeAuthority(const ProtocolRunConfig& config,
                                                const torcrypto::KeyDirectory* directory,
-                                               torbase::NodeId /*id*/, tordir::VoteDocument vote,
-                                               std::string vote_text) const override {
+                                               torbase::NodeId /*id*/,
+                                               AuthorityMaterials materials) const override {
     ProtocolConfig proto_config;
     proto_config.authority_count = config.authority_count;
-    return std::make_unique<SyncAuthority>(proto_config, directory, std::move(vote),
-                                           std::move(vote_text));
+    return std::make_unique<SyncAuthority>(proto_config, directory, std::move(materials.vote),
+                                           std::move(materials.vote_text),
+                                           std::move(materials.vote_cache));
   }
 
   UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const override {
@@ -121,14 +123,16 @@ class IcpsProtocol : public DirectoryProtocol {
 
   std::unique_ptr<torsim::Actor> MakeAuthority(const ProtocolRunConfig& config,
                                                const torcrypto::KeyDirectory* directory,
-                                               torbase::NodeId /*id*/, tordir::VoteDocument vote,
-                                               std::string vote_text) const override {
+                                               torbase::NodeId /*id*/,
+                                               AuthorityMaterials materials) const override {
     toricc::IcpsConfig icps_config;
     icps_config.SetAuthorityCount(config.authority_count);
     icps_config.dissemination_timeout = config.dissemination_timeout;
     icps_config.hotstuff.two_phase = config.two_phase_agreement;
-    return std::make_unique<toricc::IcpsAuthority>(icps_config, directory, std::move(vote),
-                                                   std::move(vote_text));
+    return std::make_unique<toricc::IcpsAuthority>(icps_config, directory,
+                                                   std::move(materials.vote),
+                                                   std::move(materials.vote_text),
+                                                   std::move(materials.vote_cache));
   }
 
   UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const override {
@@ -187,6 +191,15 @@ ProtocolMap& Registry() {
 }
 
 }  // namespace
+
+AuthorityMaterials AuthorityMaterials::Own(tordir::VoteDocument vote, std::string vote_text) {
+  AuthorityMaterials materials;
+  materials.vote = std::make_shared<const tordir::VoteDocument>(std::move(vote));
+  if (!vote_text.empty()) {
+    materials.vote_text = std::make_shared<const std::string>(std::move(vote_text));
+  }
+  return materials;
+}
 
 void RegisterProtocol(std::unique_ptr<DirectoryProtocol> protocol) {
   ProtocolMap& registry = Registry();

@@ -17,16 +17,28 @@ constexpr const char* kKindSig = "SYNC_SIG";
 
 SyncAuthority::SyncAuthority(const ProtocolConfig& config,
                              const torcrypto::KeyDirectory* directory,
-                             tordir::VoteDocument own_vote, std::string own_vote_text)
+                             std::shared_ptr<const tordir::VoteDocument> own_vote,
+                             std::shared_ptr<const std::string> own_vote_text,
+                             std::shared_ptr<const tordir::VoteCache> vote_cache)
     : config_(config),
       directory_(directory),
-      signer_(directory->SignerFor(own_vote.authority)),
+      signer_(directory->SignerFor(own_vote->authority)),
       own_vote_(std::move(own_vote)),
-      own_vote_text_(std::move(own_vote_text)) {
-  if (own_vote_text_.empty()) {
-    own_vote_text_ = tordir::SerializeVote(own_vote_);
+      own_vote_text_(std::move(own_vote_text)),
+      vote_cache_(std::move(vote_cache)) {
+  if (own_vote_text_ == nullptr) {
+    own_vote_text_ = std::make_shared<const std::string>(tordir::SerializeVote(*own_vote_));
   }
 }
+
+SyncAuthority::SyncAuthority(const ProtocolConfig& config,
+                             const torcrypto::KeyDirectory* directory,
+                             tordir::VoteDocument own_vote, std::string own_vote_text)
+    : SyncAuthority(config, directory,
+                    std::make_shared<const tordir::VoteDocument>(std::move(own_vote)),
+                    own_vote_text.empty()
+                        ? nullptr
+                        : std::make_shared<const std::string>(std::move(own_vote_text))) {}
 
 void SyncAuthority::Start() {
   lists_[id()] = own_vote_text_;
@@ -44,8 +56,9 @@ void SyncAuthority::Start() {
 void SyncAuthority::BeginProposePhase() {
   log().Notice(now(), "Propose round: sending relay list.");
   torbase::Writer w;
+  w.Reserve(own_vote_text_->size() + 16);
   w.WriteU8(kProposePost);
-  w.WriteString(own_vote_text_);
+  w.WriteString(*own_vote_text_);
   SendToAllOthers(kKindPropose, w.buffer());
 }
 
@@ -62,7 +75,13 @@ void SyncAuthority::HandleProposePost(NodeId from, torbase::Reader& r) {
   if (lists_.count(from) > 0) {
     return;
   }
-  lists_[from] = std::move(*text);
+  // Share the workload's canonical text on a digest match instead of
+  // retaining a private multi-megabyte copy per peer.
+  if (const tordir::CachedVote* cached = tordir::VoteCache::FindIn(vote_cache_, *text)) {
+    lists_[from] = cached->text;
+  } else {
+    lists_[from] = std::make_shared<const std::string>(std::move(*text));
+  }
   if (lists_.size() == node_count() &&
       outcome_.all_lists_received_at == torbase::kTimeNever) {
     outcome_.all_lists_received_at = now();
@@ -76,12 +95,17 @@ void SyncAuthority::BeginVotePhase() {
   // Serialize the packed vote: every list we received, tagged by author. The
   // packer's identity is part of the document (real packed votes are signed by
   // their author), so two authorities' packed votes never collide.
+  size_t packed_bytes = 16;
+  for (const auto& [author, text] : lists_) {
+    packed_bytes += text->size() + 8;
+  }
   torbase::Writer packed;
+  packed.Reserve(packed_bytes);
   packed.WriteU32(id());
   packed.WriteU32(static_cast<uint32_t>(lists_.size()));
   for (const auto& [author, text] : lists_) {
     packed.WriteU32(author);
-    packed.WriteString(text);
+    packed.WriteString(*text);
   }
   const std::string packed_text = torbase::StringOfBytes(packed.buffer());
   const auto digest = torcrypto::Digest256::Of(packed_text);
@@ -89,6 +113,7 @@ void SyncAuthority::BeginVotePhase() {
   packed_by_digest_[digest] = id();
 
   torbase::Writer w;
+  w.Reserve(packed_text.size() + 16);
   w.WriteU8(kPackedVote);
   w.WriteU32(id());
   w.WriteString(packed_text);
@@ -235,16 +260,29 @@ void SyncAuthority::BeginSignaturePhase() {
   if (!packer.ok() || !count.ok() || *count > node_count()) {
     return;
   }
-  std::vector<tordir::VoteDocument> votes;
+  std::vector<std::shared_ptr<const tordir::VoteDocument>> votes;
   for (uint32_t i = 0; i < *count; ++i) {
     auto author = r.ReadU32();
     auto text = r.ReadString();
     if (!author.ok() || !text.ok()) {
       return;
     }
-    auto parsed = tordir::ParseVote(*text);
-    if (parsed.ok() && parsed->authority == *author) {
-      votes.push_back(std::move(*parsed));
+    // Agreed lists are the authorities' canonical vote bytes, so the workload
+    // cache almost always spares us the ParseVote; a miss (mutated or
+    // adversarial list) parses as before.
+    std::shared_ptr<const tordir::VoteDocument> document;
+    if (const tordir::CachedVote* cached = tordir::VoteCache::FindIn(vote_cache_, *text)) {
+      document = cached->document;
+    }
+    if (document == nullptr) {
+      auto parsed = tordir::ParseVote(*text);
+      if (!parsed.ok()) {
+        continue;
+      }
+      document = std::make_shared<const tordir::VoteDocument>(std::move(*parsed));
+    }
+    if (document->authority == *author) {
+      votes.push_back(std::move(document));
     }
   }
   outcome_.lists_in_agreed_vote = static_cast<uint32_t>(votes.size());
@@ -256,7 +294,7 @@ void SyncAuthority::BeginSignaturePhase() {
   std::vector<const tordir::VoteDocument*> vote_ptrs;
   vote_ptrs.reserve(votes.size());
   for (const auto& vote : votes) {
-    vote_ptrs.push_back(&vote);
+    vote_ptrs.push_back(vote.get());
   }
   outcome_.consensus = tordir::ComputeConsensus(vote_ptrs, config_.aggregation);
   outcome_.computed_consensus = true;

@@ -27,6 +27,7 @@
 #define SRC_PROTOCOLS_SYNC_SYNC_AUTHORITY_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -55,9 +56,15 @@ struct SyncOutcome {
 
 class SyncAuthority : public torsim::Actor {
  public:
-  // `own_vote_text` is the serialized form of `own_vote`; pass it when already
-  // computed (the scenario runner caches it per workload), otherwise it is
-  // serialized here.
+  // Shared immutable inputs: the authority's own vote document, its
+  // serialized form (null = serialize here) and the workload's pre-parsed
+  // vote cache (null = parse agreed lists from scratch).
+  SyncAuthority(const ProtocolConfig& config, const torcrypto::KeyDirectory* directory,
+                std::shared_ptr<const tordir::VoteDocument> own_vote,
+                std::shared_ptr<const std::string> own_vote_text = nullptr,
+                std::shared_ptr<const tordir::VoteCache> vote_cache = nullptr);
+
+  // Convenience for tests and drivers that own a plain document.
   SyncAuthority(const ProtocolConfig& config, const torcrypto::KeyDirectory* directory,
                 tordir::VoteDocument own_vote, std::string own_vote_text = {});
 
@@ -115,11 +122,13 @@ class SyncAuthority : public torsim::Actor {
   ProtocolConfig config_;
   const torcrypto::KeyDirectory* directory_;
   torcrypto::Signer signer_;
-  tordir::VoteDocument own_vote_;
-  std::string own_vote_text_;
+  std::shared_ptr<const tordir::VoteDocument> own_vote_;
+  std::shared_ptr<const std::string> own_vote_text_;
+  std::shared_ptr<const tordir::VoteCache> vote_cache_;
 
-  // Phase 1 state: relay lists by author.
-  std::map<NodeId, std::string> lists_;
+  // Phase 1 state: relay lists by author, shared with the workload text when
+  // the received bytes match a canonical vote.
+  std::map<NodeId, std::shared_ptr<const std::string>> lists_;
   bool vote_phase_started_ = false;
 
   // Phase 2 state: packed votes by author (serialized) and their digests.

@@ -120,14 +120,23 @@ std::shared_ptr<const ScenarioRunner::Workload> ScenarioRunner::GetWorkload(
   pop_config.seed = spec.seed;
   auto workload = std::make_shared<Workload>();
   workload->population = tordir::GeneratePopulation(pop_config);
-  workload->votes =
+  auto cache = std::make_shared<tordir::VoteCache>();
+  std::vector<tordir::VoteDocument> votes =
       tordir::MakeAllVotes(spec.authority_count, workload->population, pop_config);
-  workload->vote_texts.reserve(workload->votes.size());
-  workload->vote_digests.reserve(workload->votes.size());
-  for (const tordir::VoteDocument& vote : workload->votes) {
-    workload->vote_texts.push_back(tordir::SerializeVote(vote));
-    workload->vote_digests.push_back(torcrypto::Digest256::Of(workload->vote_texts.back()));
+  workload->votes.reserve(votes.size());
+  workload->vote_texts.reserve(votes.size());
+  workload->vote_digests.reserve(votes.size());
+  for (tordir::VoteDocument& vote : votes) {
+    auto document = std::make_shared<const tordir::VoteDocument>(std::move(vote));
+    auto text = std::make_shared<const std::string>(tordir::SerializeVote(*document));
+    const torcrypto::Digest256 digest = torcrypto::Digest256::Of(*text);
+    cache->Add(digest, tordir::CachedVote{document, text});
+    workload->votes.push_back(std::move(document));
+    workload->vote_texts.push_back(std::move(text));
+    workload->vote_digests.push_back(digest);
   }
+  cache->Seal();
+  workload->vote_cache = std::move(cache);
   std::lock_guard<std::mutex> lock(workloads_mutex_);
   workloads_[key] = workload;
   return workload;
@@ -183,10 +192,13 @@ ScenarioResult ScenarioRunner::RunWithWorkload(const ScenarioSpec& spec, const W
   std::vector<torsim::Actor*> actors;
   actors.reserve(spec.authority_count);
   for (uint32_t a = 0; a < spec.authority_count; ++a) {
-    // Copy the cached vote and its serialized bytes: the actor consumes its
-    // document, the workload is shared across runs.
+    // Share the cached vote, its serialized bytes and the workload's parsed-
+    // vote cache with the actor: all immutable, so concurrent cells can hold
+    // the same documents without copying megabytes per authority per run.
     actors.push_back(harness.AddActor(protocol.MakeAuthority(
-        run_config, &directory, a, workload.votes[a], workload.vote_texts[a])));
+        run_config, &directory, a,
+        torproto::AuthorityMaterials{workload.votes[a], workload.vote_texts[a],
+                                     workload.vote_cache})));
   }
 
   torattack::AttackContext attack_context;
@@ -270,8 +282,8 @@ ScenarioResult ScenarioRunner::RunWithWorkload(const ScenarioSpec& spec, const W
     AnalyzeHealth(spec, protocol, actors, workload.vote_digests, result);
   }
   if (spec.client_load.client_count > 0) {
-    AnalyzeClientLoad(spec, published, workload.vote_texts.empty() ? 0 : workload.vote_texts[0].size(),
-                      result);
+    AnalyzeClientLoad(spec, published,
+                      workload.vote_texts.empty() ? 0 : workload.vote_texts[0]->size(), result);
   }
 
   if (inspect) {

@@ -67,15 +67,21 @@ class ScenarioRunner {
   // A generated population plus all authorities' votes over it, with their
   // serialized bytes (actors need both, and serialization of a multi-megabyte
   // vote is too expensive to redo per authority per run). Immutable once
-  // built; runs copy the documents they hand to actors.
+  // built; runs hand actors shared_ptrs to the documents — never copies —
+  // which is safe across concurrent sweep cells precisely because nothing
+  // here mutates after construction (ROADMAP threading contract).
   struct Workload {
     std::vector<tordir::RelayStatus> population;
-    std::vector<tordir::VoteDocument> votes;
-    std::vector<std::string> vote_texts;
+    std::vector<std::shared_ptr<const tordir::VoteDocument>> votes;
+    std::vector<std::shared_ptr<const std::string>> vote_texts;
     // Digest of each serialized vote, for the consensus-health monitor (the
     // simulated authorities are honest, so every copy of authority i's vote
     // matches this digest — hashed once per workload, not once per probe).
     std::vector<torcrypto::Digest256> vote_digests;
+    // Digest-keyed view of the votes above: authorities that receive one of
+    // these texts over the wire reuse the parsed document instead of calling
+    // ParseVote at run time.
+    std::shared_ptr<const tordir::VoteCache> vote_cache;
   };
   using WorkloadKey = std::tuple<size_t, uint64_t, uint32_t>;  // (relays, seed, n)
 

@@ -18,6 +18,14 @@
 //     relay; if no vote measured it, median of the claimed bandwidths.
 //   * Address/ports/published/microdesc digest: popular vote over the full
 //     endpoint tuple, ties broken towards the largest authority ID.
+//
+// Implementation: a k-way merge over the votes' fingerprint-sorted relay
+// lists with fixed-size counting scratch reused across relays — O(n·a) time,
+// no per-relay map nodes, and (thanks to interned relay strings) no per-relay
+// heap allocations. The allocation bound is pinned by
+// tests/aggregate_alloc_test.cc and the golden digests in
+// tests/consensus_golden_test.cc prove the output is byte-identical to the
+// original map-based implementation.
 #ifndef SRC_TORDIR_AGGREGATE_H_
 #define SRC_TORDIR_AGGREGATE_H_
 

@@ -15,7 +15,7 @@ using torbase::Status;
 
 void AppendRelay(std::string& out, const RelayStatus& relay, bool include_measured) {
   out += "r ";
-  out += relay.nickname;
+  out += relay.nickname.view();
   out += ' ';
   out += FingerprintHex(relay.fingerprint);
   out += ' ';
@@ -24,7 +24,7 @@ void AppendRelay(std::string& out, const RelayStatus& relay, bool include_measur
   out += torbase::HexEncode(
       std::span<const uint8_t>(relay.microdesc_digest.data(), 8));
   out += ' ';
-  out += relay.address;
+  out += relay.address.view();
   out += ' ';
   out += std::to_string(relay.or_port);
   out += ' ';
@@ -39,12 +39,12 @@ void AppendRelay(std::string& out, const RelayStatus& relay, bool include_measur
 
   if (!relay.version.empty()) {
     out += "v ";
-    out += relay.version;
+    out += relay.version.view();
     out += '\n';
   }
   if (!relay.protocols.empty()) {
     out += "pr ";
-    out += relay.protocols;
+    out += relay.protocols.view();
     out += '\n';
   }
 
@@ -57,7 +57,7 @@ void AppendRelay(std::string& out, const RelayStatus& relay, bool include_measur
   out += '\n';
 
   out += "p ";
-  out += relay.exit_policy;
+  out += relay.exit_policy.view();
   out += '\n';
 
   out += "m ";
@@ -108,14 +108,14 @@ Status ParseRelayEntry(const std::vector<std::string_view>& lines, size_t& idx,
     if (words.size() != 8 || words[0] != "r") {
       return Status::InvalidArgument("malformed r line: " + std::string(lines[idx]));
     }
-    relay.nickname = std::string(words[1]);
-    auto fp = FingerprintFromHex(std::string(words[2]));
+    relay.nickname = words[1];
+    auto fp = FingerprintFromHex(words[2]);
     if (!fp.has_value()) {
       return Status::InvalidArgument("bad fingerprint: " + std::string(words[2]));
     }
     relay.fingerprint = *fp;
     // words[3] is the descriptor digest prefix; re-derived from the m line.
-    relay.address = std::string(words[4]);
+    relay.address = words[4];
     auto orp = ParseU64(words[5]);
     auto dirp = ParseU64(words[6]);
     auto pub = ParseU64(words[7]);
@@ -132,16 +132,16 @@ Status ParseRelayEntry(const std::vector<std::string_view>& lines, size_t& idx,
     if (StartsWith(line, "s ") || line == "s") {
       relay.flags = 0;
       for (const auto word : SplitWords(line.substr(1))) {
-        auto flag = RelayFlagFromName(std::string(word));
+        auto flag = RelayFlagFromName(word);
         if (!flag.has_value()) {
           return Status::InvalidArgument("unknown flag: " + std::string(word));
         }
         relay.SetFlag(*flag, true);
       }
     } else if (StartsWith(line, "v ")) {
-      relay.version = std::string(line.substr(2));
+      relay.version = line.substr(2);
     } else if (StartsWith(line, "pr ")) {
-      relay.protocols = std::string(line.substr(3));
+      relay.protocols = line.substr(3);
     } else if (StartsWith(line, "w ")) {
       for (const auto word : SplitWords(line.substr(2))) {
         if (StartsWith(word, "Bandwidth=")) {
@@ -159,7 +159,7 @@ Status ParseRelayEntry(const std::vector<std::string_view>& lines, size_t& idx,
         }
       }
     } else if (StartsWith(line, "p ")) {
-      relay.exit_policy = std::string(line.substr(2));
+      relay.exit_policy = line.substr(2);
     } else if (StartsWith(line, "m ")) {
       auto decoded = torbase::HexDecode(line.substr(2));
       if (!decoded.has_value() || decoded->size() != 32) {

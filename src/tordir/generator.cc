@@ -54,6 +54,24 @@ std::vector<RelayStatus> GeneratePopulation(const PopulationConfig& config) {
   torbase::Rng rng(config.seed ^ 0x7052656c61795067ull);  // "pRelayPg"
   std::vector<RelayStatus> relays;
   relays.reserve(config.relay_count);
+
+  // Intern the shared value pools once per population instead of re-hashing
+  // the same strings per relay; nicknames/addresses are unique and interned
+  // inline below.
+  InternedString versions[std::size(kVersionPool)];
+  for (size_t i = 0; i < std::size(kVersionPool); ++i) {
+    versions[i] = kVersionPool[i];
+  }
+  InternedString protocols[std::size(kProtocolPool)];
+  for (size_t i = 0; i < std::size(kProtocolPool); ++i) {
+    protocols[i] = kProtocolPool[i];
+  }
+  InternedString exit_policies[std::size(kExitPolicyPool)];
+  for (size_t i = 0; i < std::size(kExitPolicyPool); ++i) {
+    exit_policies[i] = kExitPolicyPool[i];
+  }
+  const InternedString reject_all = "reject 1-65535";
+
   for (size_t i = 0; i < config.relay_count; ++i) {
     RelayStatus relay;
     relay.fingerprint = DeriveFingerprint(config.seed, i);
@@ -82,10 +100,10 @@ std::vector<RelayStatus> GeneratePopulation(const PopulationConfig& config) {
     relay.SetFlag(RelayFlag::kV2Dir, rng.Bernoulli(config.p_v2dir));
     relay.SetFlag(RelayFlag::kBadExit, is_exit && rng.Bernoulli(config.p_bad_exit));
 
-    relay.version = kVersionPool[rng.UniformU64(std::size(kVersionPool))];
-    relay.protocols = kProtocolPool[rng.UniformU64(std::size(kProtocolPool))];
+    relay.version = versions[rng.UniformU64(std::size(kVersionPool))];
+    relay.protocols = protocols[rng.UniformU64(std::size(kProtocolPool))];
     relay.exit_policy =
-        is_exit ? kExitPolicyPool[rng.UniformU64(std::size(kExitPolicyPool))] : "reject 1-65535";
+        is_exit ? exit_policies[rng.UniformU64(std::size(kExitPolicyPool))] : reject_all;
 
     // Log-normal-ish bandwidth distribution (KB/s), clamped to a live-network
     // plausible range.

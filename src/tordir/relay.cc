@@ -14,7 +14,7 @@ const RelayFlag kRelayFlagOrder[10] = {
 
 std::string FingerprintHex(const Fingerprint& fp) { return torbase::HexEncodeUpper(fp); }
 
-std::optional<Fingerprint> FingerprintFromHex(const std::string& hex) {
+std::optional<Fingerprint> FingerprintFromHex(std::string_view hex) {
   auto decoded = torbase::HexDecode(hex);
   if (!decoded.has_value() || decoded->size() != 20) {
     return std::nullopt;
@@ -50,7 +50,7 @@ const char* RelayFlagName(RelayFlag flag) {
   return "?";
 }
 
-std::optional<RelayFlag> RelayFlagFromName(const std::string& name) {
+std::optional<RelayFlag> RelayFlagFromName(std::string_view name) {
   for (RelayFlag flag : kRelayFlagOrder) {
     if (name == RelayFlagName(flag)) {
       return flag;
@@ -76,7 +76,7 @@ bool RelayOrder(const RelayStatus& a, const RelayStatus& b) {
   return a.fingerprint < b.fingerprint;
 }
 
-int CompareVersions(const std::string& a, const std::string& b) {
+int CompareVersions(std::string_view a, std::string_view b) {
   size_t i = 0;
   size_t j = 0;
   while (i < a.size() || j < b.size()) {

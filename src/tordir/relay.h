@@ -8,6 +8,9 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
+
+#include "src/tordir/string_pool.h"
 
 namespace tordir {
 
@@ -16,7 +19,7 @@ namespace tordir {
 using Fingerprint = std::array<uint8_t, 20>;
 
 std::string FingerprintHex(const Fingerprint& fp);
-std::optional<Fingerprint> FingerprintFromHex(const std::string& hex);
+std::optional<Fingerprint> FingerprintFromHex(std::string_view hex);
 
 // Router status flags (dir-spec "known-flags"). Kept as a bitmask.
 enum class RelayFlag : uint16_t {
@@ -38,26 +41,32 @@ constexpr uint16_t kAllRelayFlags = (1 << 10) - 1;
 extern const RelayFlag kRelayFlagOrder[10];
 
 const char* RelayFlagName(RelayFlag flag);
-std::optional<RelayFlag> RelayFlagFromName(const std::string& name);
+std::optional<RelayFlag> RelayFlagFromName(std::string_view name);
 
 // Renders set flags in canonical order, space separated ("Exit Fast Running").
 std::string FlagsToString(uint16_t flags);
 
 // One relay's status as seen by one authority (a vote row) or as agreed in the
 // consensus document.
+//
+// The five string fields are interned (src/tordir/string_pool.h): assignments
+// and comparisons against ordinary strings still read naturally, but a
+// RelayStatus copy moves no heap memory and equality is five integer
+// compares — the property the O(n·a) consensus aggregation and the per-actor
+// vote copies in the scenario runner rely on.
 struct RelayStatus {
   Fingerprint fingerprint{};
-  std::string nickname;
-  std::string address;      // dotted quad
+  InternedString nickname;
+  InternedString address;   // dotted quad
   uint16_t or_port = 0;
   uint16_t dir_port = 0;
   uint64_t published = 0;   // unix seconds
   uint16_t flags = 0;       // RelayFlag bitmask
-  std::string version;      // e.g. "Tor 0.4.8.10"
-  std::string protocols;    // "pr" line payload
+  InternedString version;   // e.g. "Tor 0.4.8.10"
+  InternedString protocols; // "pr" line payload
   uint64_t bandwidth = 0;   // claimed, in KB/s
   std::optional<uint64_t> measured;  // bwauth measurement, KB/s
-  std::string exit_policy;  // port summary, e.g. "accept 80,443"
+  InternedString exit_policy;  // port summary, e.g. "accept 80,443"
   std::array<uint8_t, 32> microdesc_digest{};
 
   bool HasFlag(RelayFlag flag) const { return (flags & static_cast<uint16_t>(flag)) != 0; }
@@ -78,7 +87,7 @@ bool RelayOrder(const RelayStatus& a, const RelayStatus& b);
 // Compares dotted version strings ("Tor 0.4.8.10" vs "Tor 0.4.8.9") by their
 // numeric components; non-numeric prefixes compare lexicographically first.
 // Returns <0, 0, >0.
-int CompareVersions(const std::string& a, const std::string& b);
+int CompareVersions(std::string_view a, std::string_view b);
 
 }  // namespace tordir
 

@@ -1,0 +1,93 @@
+#include "src/tordir/string_pool.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+
+namespace tordir {
+
+StringPool& StringPool::Global() {
+  // Leaked on purpose: ids live in documents whose destruction order versus a
+  // static pool is unknowable, and the pool is bounded by the process's
+  // distinct relay strings.
+  static StringPool* pool = new StringPool();
+  return *pool;
+}
+
+StringPool::StringPool() {
+  // Seed id 0 = "" so a default-constructed InternedString is the empty
+  // string without ever touching the index.
+  Chunk* chunk = new Chunk();
+  chunk->entries[0] = std::string_view();
+  chunks_[0].store(chunk, std::memory_order_release);
+  index_.emplace(std::string_view(), 0);
+  count_.store(1, std::memory_order_release);
+}
+
+std::string_view StringPool::ArenaCopy(std::string_view s) {
+  constexpr size_t kBlockSize = 64 * 1024;
+  if (s.size() > kBlockSize) {
+    // Oversized strings get a dedicated block, which must NOT become the bump
+    // block: the current bump pointer keeps serving small strings from its
+    // own block untouched.
+    auto block = std::make_unique<char[]>(s.size());
+    std::memcpy(block.get(), s.data(), s.size());
+    std::string_view view(block.get(), s.size());
+    arena_.push_back(std::move(block));
+    return view;
+  }
+  if (s.size() > bump_remaining_) {
+    arena_.push_back(std::make_unique<char[]>(kBlockSize));
+    bump_ptr_ = arena_.back().get();
+    bump_remaining_ = kBlockSize;
+  }
+  char* dst = bump_ptr_;
+  std::memcpy(dst, s.data(), s.size());
+  bump_ptr_ += s.size();
+  bump_remaining_ -= s.size();
+  return std::string_view(dst, s.size());
+}
+
+uint32_t StringPool::Intern(std::string_view s) {
+  if (s.empty()) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(s);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const uint32_t id = count_.load(std::memory_order_relaxed);
+  const uint32_t chunk_index = id >> kChunkBits;
+  if (chunk_index >= kMaxChunks) {
+    // Real guard, not an assert: the pool is append-only by design, so an
+    // input that manufactures 128M distinct strings must fail loudly instead
+    // of writing past chunks_[].
+    std::fprintf(stderr, "tordir::StringPool exhausted (%u strings)\n", id);
+    std::abort();
+  }
+  Chunk* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    chunks_[chunk_index].store(chunk, std::memory_order_release);
+  }
+  const std::string_view stable = ArenaCopy(s);
+  chunk->entries[id & (kChunkSize - 1)] = stable;
+  index_.emplace(stable, id);
+  // Release so size() readers observe the entry; cross-thread id transport
+  // supplies its own happens-before edge (see header).
+  count_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+std::string_view StringPool::View(uint32_t id) const {
+  assert(id < count_.load(std::memory_order_acquire) && "unknown string id");
+  const Chunk* chunk = chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+  return chunk->entries[id & (kChunkSize - 1)];
+}
+
+std::ostream& operator<<(std::ostream& os, InternedString s) { return os << s.view(); }
+
+}  // namespace tordir

@@ -1,0 +1,123 @@
+// Interned relay strings: a process-wide, append-only string pool plus the
+// 4-byte handle type (`InternedString`) that RelayStatus uses for its five
+// string fields (nickname, address, version, protocols, exit_policy).
+//
+// Why interning: every vote row at relay count n carries the same handful of
+// version/protocol/exit-policy strings and a unique nickname/address, and the
+// consensus hot path (ComputeConsensus) compares and copies those strings
+// O(n·a) times per round. Hash-consing them once — at workload build or parse
+// time — makes every later copy a 4-byte move, every equality test an integer
+// compare, and shrinks RelayStatus enough that a 64k-relay vote copies in a
+// single memcpy-friendly sweep. This is the same move leap's name interning
+// and libhotstuff's flat command batches use to survive production rates.
+//
+// Pool semantics:
+//   * Entries are immutable: once an id is handed out, its bytes never move
+//     and never change. The pool only grows (it is intentionally "leaky"; the
+//     process-wide set of distinct relay strings is small — a few MB even for
+//     64k-relay workloads).
+//   * Equal strings always intern to the same id (hash-consing), so ids are
+//     comparable across documents, workloads and threads — two independently
+//     parsed copies of a vote produce bit-identical RelayStatus rows.
+//   * Intern() is guarded by a mutex; View() is lock-free. A reader may
+//     resolve any id it legitimately holds: transporting an id across threads
+//     requires a happens-before edge (thread-pool task handoff, a mutexed
+//     cache, ...), and that same edge publishes the entry bytes. This is what
+//     keeps the scenario runner's parallel sweeps TSan-clean: workloads
+//     intern serially at build time and cells mostly View() — run-time
+//     interning happens only when a cell parses non-canonical bytes (vote-
+//     cache miss), which is mutex-safe, merely contended.
+//   * Because the pool never evicts, adversarial inputs can grow it for the
+//     process lifetime; that is an accepted simulator trade-off, and
+//     exhausting the 128M-entry id space aborts loudly rather than wrapping.
+//   * Id 0 is always the empty string, so a default InternedString is "".
+#ifndef SRC_TORDIR_STRING_POOL_H_
+#define SRC_TORDIR_STRING_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tordir {
+
+class StringPool {
+ public:
+  // The process-wide pool all InternedStrings resolve against.
+  static StringPool& Global();
+
+  StringPool();
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+
+  // Returns the id for `s`, inserting it if new. Thread-safe (mutex).
+  uint32_t Intern(std::string_view s);
+
+  // Resolves an id previously returned by Intern(). Lock-free; see the
+  // header comment for the cross-thread visibility contract.
+  std::string_view View(uint32_t id) const;
+
+  // Number of distinct strings interned so far (including the empty string).
+  size_t size() const { return count_.load(std::memory_order_acquire); }
+
+ private:
+  static constexpr uint32_t kChunkBits = 12;
+  static constexpr uint32_t kChunkSize = 1u << kChunkBits;  // 4096 entries
+  static constexpr uint32_t kMaxChunks = 1u << 15;          // 128M strings
+
+  struct Chunk {
+    std::string_view entries[kChunkSize];
+  };
+
+  // Copies `s` into the arena and returns a stable view of the copy.
+  std::string_view ArenaCopy(std::string_view s);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string_view, uint32_t> index_;
+  std::vector<std::unique_ptr<char[]>> arena_;
+  // Bump allocator over the most recent *regular* arena block. Oversized
+  // strings get dedicated blocks that never become the bump block.
+  char* bump_ptr_ = nullptr;
+  size_t bump_remaining_ = 0;
+  std::atomic<Chunk*> chunks_[kMaxChunks] = {};
+  std::atomic<uint32_t> count_{0};
+};
+
+// A 4-byte interned string handle. Implicitly converts from and compares
+// against ordinary strings, so call sites read like std::string; copies and
+// equality tests are integer operations.
+class InternedString {
+ public:
+  constexpr InternedString() = default;  // the empty string
+  InternedString(std::string_view s) : id_(StringPool::Global().Intern(s)) {}
+  InternedString(const char* s) : InternedString(std::string_view(s)) {}
+  InternedString(const std::string& s) : InternedString(std::string_view(s)) {}
+
+  std::string_view view() const { return StringPool::Global().View(id_); }
+  operator std::string_view() const { return view(); }
+  std::string str() const { return std::string(view()); }
+  bool empty() const { return id_ == 0; }
+  size_t size() const { return view().size(); }
+  uint32_t id() const { return id_; }
+
+  // Hash-consing makes id equality equivalent to byte equality.
+  friend bool operator==(InternedString a, InternedString b) { return a.id_ == b.id_; }
+  friend bool operator==(InternedString a, std::string_view b) { return a.view() == b; }
+  friend bool operator==(InternedString a, const char* b) { return a.view() == b; }
+  friend bool operator==(InternedString a, const std::string& b) { return a.view() == b; }
+
+ private:
+  uint32_t id_ = 0;
+};
+
+// For test failure messages and logs.
+std::ostream& operator<<(std::ostream& os, InternedString s);
+
+}  // namespace tordir
+
+#endif  // SRC_TORDIR_STRING_POOL_H_

@@ -1,6 +1,7 @@
 #include "src/tordir/vote.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace tordir {
 
@@ -10,6 +11,32 @@ void VoteDocument::SortRelays() {
 
 void ConsensusDocument::SortRelays() {
   std::sort(relays.begin(), relays.end(), RelayOrder);
+}
+
+void VoteCache::Add(const torcrypto::Digest256& digest, CachedVote vote) {
+  assert(!sealed_ && "VoteCache is immutable once sealed");
+  entries_.emplace_back(digest, std::move(vote));
+}
+
+void VoteCache::Seal() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  sealed_ = true;
+}
+
+const CachedVote* VoteCache::FindByText(std::string_view text) const {
+  return Find(torcrypto::Digest256::Of(text));
+}
+
+const CachedVote* VoteCache::Find(const torcrypto::Digest256& digest) const {
+  assert(sealed_ && "VoteCache must be sealed before lookup");
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), digest,
+      [](const auto& entry, const torcrypto::Digest256& d) { return entry.first < d; });
+  if (it == entries_.end() || !(it->first == digest)) {
+    return nullptr;
+  }
+  return &it->second;
 }
 
 }  // namespace tordir

@@ -4,7 +4,10 @@
 #define SRC_TORDIR_VOTE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/common/ids.h"
@@ -43,6 +46,48 @@ struct ConsensusDocument {
 
   void SortRelays();
   bool operator==(const ConsensusDocument&) const = default;
+};
+
+// --- parsed-vote cache -------------------------------------------------------
+// A document together with its canonical serialized bytes, both shared and
+// immutable. The scenario runner builds these once per workload; authorities
+// hold references instead of private multi-megabyte copies.
+struct CachedVote {
+  std::shared_ptr<const VoteDocument> document;
+  std::shared_ptr<const std::string> text;
+};
+
+// Immutable digest-keyed lookup of pre-parsed vote documents. Honest
+// authorities only ever exchange the workload's canonical vote bytes, so a
+// receiver that hashes an incoming text and hits this cache can skip
+// ParseVote entirely: a digest match proves byte equality, and byte-equal
+// texts parse to identical documents. Misses (mutated or adversarial texts)
+// fall back to parsing.
+//
+// Build with Add() then Seal(); Find() is const and safe to share across
+// threads once sealed.
+class VoteCache {
+ public:
+  void Add(const torcrypto::Digest256& digest, CachedVote vote);
+  void Seal();  // sorts the index; required before Find()
+  const CachedVote* Find(const torcrypto::Digest256& digest) const;
+  // Hashes `text` and looks the digest up: the one-liner every receive path
+  // uses ("digest match proves byte equality, byte-equal texts parse to
+  // identical documents"). Null on miss — callers fall back to ParseVote.
+  const CachedVote* FindByText(std::string_view text) const;
+  // Same for callers that already hold the text's digest.
+  static const CachedVote* FindIn(const std::shared_ptr<const VoteCache>& cache,
+                                  const torcrypto::Digest256& digest) {
+    return cache == nullptr ? nullptr : cache->Find(digest);
+  }
+  static const CachedVote* FindIn(const std::shared_ptr<const VoteCache>& cache,
+                                  std::string_view text) {
+    return cache == nullptr ? nullptr : cache->FindByText(text);
+  }
+
+ private:
+  std::vector<std::pair<torcrypto::Digest256, CachedVote>> entries_;
+  bool sealed_ = false;
 };
 
 }  // namespace tordir

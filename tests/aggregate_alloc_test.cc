@@ -1,0 +1,61 @@
+// Pins the allocation behaviour of the consensus hot path: ComputeConsensus
+// over an n-relay, a-authority workload must perform a small constant number
+// of heap allocations — scratch vectors and one relays reservation — never
+// O(n) map nodes or per-relay string copies. Includes the binary-wide
+// counting allocator (one TU per binary, like tests/event_alloc_test.cc).
+#include "src/common/counting_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tordir/aggregate.h"
+#include "src/tordir/dirspec.h"
+#include "src/tordir/generator.h"
+
+namespace {
+
+using torbase::counting_allocator::AllocationCount;
+
+TEST(AggregateAllocTest, ComputeConsensusAllocatesConstantNotPerRelay) {
+  constexpr size_t kRelays = 4000;
+  constexpr uint32_t kAuthorities = 9;
+  tordir::PopulationConfig config;
+  config.relay_count = kRelays;
+  config.seed = 3;
+  const auto population = tordir::GeneratePopulation(config);
+  const auto votes = tordir::MakeAllVotes(kAuthorities, population, config);
+
+  // Warm-up: interns every string the workload uses and faults in the
+  // allocator's metadata.
+  const auto warmup = tordir::ComputeConsensus(votes);
+  ASSERT_GT(warmup.relays.size(), kRelays * 9 / 10);
+
+  const uint64_t before = AllocationCount();
+  const auto consensus = tordir::ComputeConsensus(votes);
+  const uint64_t allocations = AllocationCount() - before;
+  ASSERT_EQ(consensus.relays.size(), warmup.relays.size());
+
+  // Steady state: 3 metadata vectors + cursors + 4 scratch vectors + the
+  // relays reservation + the vector<const VoteDocument*> of the convenience
+  // overload ≈ 10; 64 leaves headroom without ever letting an O(n) term
+  // (4000+ allocations) sneak back in.
+  EXPECT_LE(allocations, 64u);
+  const double per_relay =
+      static_cast<double>(allocations) / static_cast<double>(consensus.relays.size());
+  EXPECT_LT(per_relay, 0.02) << allocations << " allocations for "
+                             << consensus.relays.size() << " relays";
+}
+
+TEST(AggregateAllocTest, RelayStatusCopyDoesNotAllocate) {
+  tordir::PopulationConfig config;
+  config.relay_count = 64;
+  const auto population = tordir::GeneratePopulation(config);
+
+  const uint64_t before = AllocationCount();
+  tordir::RelayStatus copy = population[0];
+  copy = population[63];
+  const uint64_t allocations = AllocationCount() - before;
+  EXPECT_EQ(allocations, 0u) << "interned RelayStatus copies must be allocation-free";
+  EXPECT_EQ(copy, population[63]);
+}
+
+}  // namespace

@@ -525,10 +525,10 @@ class RenamedIcps : public torproto::DirectoryProtocol {
   std::string_view display_name() const override { return "Ours (alias)"; }
   std::unique_ptr<torsim::Actor> MakeAuthority(const torproto::ProtocolRunConfig& config,
                                                const torcrypto::KeyDirectory* directory,
-                                               torbase::NodeId id, tordir::VoteDocument vote,
-                                               std::string vote_text) const override {
-    return torproto::GetProtocol("icps").MakeAuthority(config, directory, id, std::move(vote),
-                                                       std::move(vote_text));
+                                               torbase::NodeId id,
+                                               torproto::AuthorityMaterials materials) const override {
+    return torproto::GetProtocol("icps").MakeAuthority(config, directory, id,
+                                                       std::move(materials));
   }
   torproto::UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const override {
     return torproto::GetProtocol("icps").ProbeOutcome(actor);

@@ -1,0 +1,85 @@
+// Unit tests for the interned-string pool: hash-consing identity, empty-id
+// semantics, string-like ergonomics of InternedString, and the arena's
+// oversized-block path (regression: a >64KB string must not hijack the bump
+// block and let later small interns corrupt it).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/tordir/string_pool.h"
+
+namespace tordir {
+namespace {
+
+TEST(StringPoolTest, HashConsingGivesEqualIdsForEqualStrings) {
+  InternedString a = "string-pool-test-value";
+  InternedString b = std::string("string-pool-test-value");
+  InternedString c = std::string_view("string-pool-test-value");
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(b.id(), c.id());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.id(), InternedString("string-pool-test-other").id());
+}
+
+TEST(StringPoolTest, DefaultIsEmptyStringWithIdZero) {
+  InternedString empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.id(), 0u);
+  EXPECT_EQ(empty.view(), "");
+  EXPECT_EQ(InternedString("").id(), 0u);
+  EXPECT_EQ(empty, InternedString(std::string()));
+}
+
+TEST(StringPoolTest, ComparesAgainstPlainStrings) {
+  InternedString s = "Tor 0.4.8.10";
+  EXPECT_EQ(s, "Tor 0.4.8.10");
+  EXPECT_EQ(s, std::string("Tor 0.4.8.10"));
+  EXPECT_EQ(s, std::string_view("Tor 0.4.8.10"));
+  EXPECT_NE(s, "Tor 0.4.8.9");
+  EXPECT_EQ(s.size(), 12u);
+  EXPECT_FALSE(s.empty());
+}
+
+// Regression: an oversized (> one arena block) string gets a dedicated block
+// that must not become the bump block — earlier and later small interns keep
+// their bytes, and the oversized entry stays intact while small strings fill
+// the pool around it.
+TEST(StringPoolTest, OversizedStringsDoNotCorruptTheArena) {
+  const std::string before = "small-before-oversized-entry";
+  InternedString small_before = before;
+
+  const std::string big(70 * 1024, 'B');
+  InternedString big_interned = big;
+  EXPECT_EQ(big_interned.view().size(), big.size());
+
+  std::vector<std::pair<InternedString, std::string>> smalls;
+  for (int i = 0; i < 256; ++i) {
+    std::string value = "small-after-oversized-" + std::to_string(i);
+    smalls.emplace_back(InternedString(value), value);
+  }
+
+  EXPECT_EQ(small_before.view(), before);
+  EXPECT_EQ(big_interned.view(), big) << "oversized entry was overwritten";
+  for (const auto& [interned, value] : smalls) {
+    EXPECT_EQ(interned.view(), value);
+  }
+  // Dedup still works across the oversized insertion (index keys intact).
+  EXPECT_EQ(InternedString(big).id(), big_interned.id());
+  EXPECT_EQ(InternedString(before).id(), small_before.id());
+}
+
+TEST(StringPoolTest, ManyDistinctStringsSpanChunksAndStayStable) {
+  // More than one 4096-entry chunk worth of fresh strings.
+  std::vector<uint32_t> ids;
+  ids.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(InternedString("chunk-span-" + std::to_string(i)).id());
+  }
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(StringPool::Global().View(ids[i]), "chunk-span-" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace tordir

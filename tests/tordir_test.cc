@@ -511,7 +511,7 @@ TEST(GeneratorTest, ExitPolicyMatchesExitFlag) {
     if (!relay.HasFlag(RelayFlag::kExit)) {
       EXPECT_EQ(relay.exit_policy, "reject 1-65535");
     } else {
-      EXPECT_EQ(relay.exit_policy.rfind("accept ", 0), 0u);
+      EXPECT_EQ(relay.exit_policy.view().rfind("accept ", 0), 0u);
     }
   }
 }
