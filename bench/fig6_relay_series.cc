@@ -4,11 +4,13 @@
 // (DESIGN.md §1 documents the substitution).
 //
 // With --max-relays N the bench instead walks the relay axis itself (1k, 2k,
-// ... doubling up to N, capped at 64k): for each count it builds the 9-vote
-// workload, reports the vote wire size that drives every bandwidth experiment,
-// and times the flat-merge ComputeConsensus — the scaling run that the
-// interned-string aggregation made affordable at 64k relays. --smoke caps the
-// axis at 4k with a single timing rep so CI stays fast.
+// ... doubling up to N, capped at 256k): for each count it builds the 9-vote
+// workload (timed, so a workload-build regression is visible next to the
+// protocol costs), reports the vote wire size that drives every bandwidth
+// experiment, times the streaming codec both directions, and times the
+// flat-merge ComputeConsensus — the scaling run that interned-string
+// aggregation plus the zero-allocation codec made affordable at 256k relays.
+// --smoke caps the axis at 4k with a single timing rep so CI stays fast.
 //
 // Usage: fig6_relay_series [--max-relays N] [--smoke]
 #include <algorithm>
@@ -27,7 +29,11 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-constexpr size_t kRelayAxisCap = 64000;
+constexpr size_t kRelayAxisCap = 262144;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 int RunRelayAxis(size_t max_relays, bool smoke) {
   constexpr uint32_t kAuthorities = 9;
@@ -36,37 +42,58 @@ int RunRelayAxis(size_t max_relays, bool smoke) {
   }
   max_relays = std::min(max_relays, kRelayAxisCap);
 
-  std::printf("=== Figure 6 relay axis: consensus cost up to %zu relays ===\n\n", max_relays);
-  torbase::Table table({"Relays", "Vote KB", "Consensus relays", "Aggregate ms", "Relays/s"});
+  std::printf("=== Figure 6 relay axis: directory cost up to %zu relays ===\n\n", max_relays);
+  torbase::Table table({"Relays", "Build ms", "Vote KB", "Ser MB/s", "Parse MB/s",
+                        "Consensus relays", "Aggregate ms", "Relays/s"});
   bool ok = true;
   for (size_t relays = 1000; relays <= max_relays; relays *= 2) {
     tordir::PopulationConfig config;
     config.relay_count = relays;
     config.seed = 3;
+    const auto build_start = Clock::now();
     const auto population = tordir::GeneratePopulation(config);
     const auto votes = tordir::MakeAllVotes(kAuthorities, population, config);
-    const size_t vote_bytes = tordir::SerializeVote(votes[0]).size();
+    const double build_seconds = SecondsSince(build_start);
+
+    const int reps = smoke ? 1 : (relays >= 128000 ? 2 : (relays >= 32000 ? 3 : 10));
+
+    std::string vote_text = tordir::SerializeVote(votes[0]);  // warm-up
+    const size_t vote_bytes = vote_text.size();
+    const auto serialize_start = Clock::now();
+    for (int i = 0; i < reps; ++i) {
+      vote_text = tordir::SerializeVote(votes[0]);
+    }
+    const double serialize_seconds = SecondsSince(serialize_start) / reps;
+
+    auto parsed = tordir::ParseVote(vote_text);  // warm-up
+    const auto parse_start = Clock::now();
+    for (int i = 0; i < reps; ++i) {
+      parsed = tordir::ParseVote(vote_text);
+    }
+    const double parse_seconds = SecondsSince(parse_start) / reps;
+    ok = ok && parsed.ok() && *parsed == votes[0];
 
     auto consensus = tordir::ComputeConsensus(votes);  // warm-up
-    const int reps = smoke ? 1 : (relays >= 32000 ? 3 : 10);
     const auto start = Clock::now();
     for (int i = 0; i < reps; ++i) {
       consensus = tordir::ComputeConsensus(votes);
     }
-    const double seconds =
-        std::chrono::duration<double>(Clock::now() - start).count() / reps;
+    const double seconds = SecondsSince(start) / reps;
 
     ok = ok && consensus.relays.size() > relays * 9 / 10 &&
          consensus.relays.size() <= relays;
     table.AddRow({torbase::Table::Num(static_cast<double>(relays), 0),
+                  torbase::Table::Num(build_seconds * 1e3, 1),
                   torbase::Table::Num(static_cast<double>(vote_bytes) / 1024.0, 1),
+                  torbase::Table::Num(static_cast<double>(vote_bytes) / serialize_seconds / 1e6, 0),
+                  torbase::Table::Num(static_cast<double>(vote_bytes) / parse_seconds / 1e6, 0),
                   torbase::Table::Num(static_cast<double>(consensus.relays.size()), 0),
                   torbase::Table::Num(seconds * 1e3, 2),
                   torbase::Table::Num(static_cast<double>(relays) / seconds, 0)});
   }
   table.Print(std::cout);
   if (!ok) {
-    std::fprintf(stderr, "REGRESSION: consensus relay counts off the expected band\n");
+    std::fprintf(stderr, "REGRESSION: relay-axis results off the expected band\n");
     return 1;
   }
   return 0;

@@ -30,6 +30,7 @@
 #include "src/sim/event_probe.h"
 #include "src/sim/simulator.h"
 #include "src/tordir/aggregate.h"
+#include "src/tordir/dirspec.h"
 #include "src/tordir/generator.h"
 
 namespace {
@@ -41,6 +42,9 @@ using Clock = std::chrono::steady_clock;
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+// Keeps timed digest loops observable without benchmark::DoNotOptimize.
+volatile uint64_t benchmark_sink = 0;
 
 // The fig7 shape: the current protocol with 5 of 9 authorities clamped to a
 // fixed per-victim bandwidth for the whole run, across relay counts — each
@@ -209,6 +213,96 @@ AggregateMicro MeasureAggregate(bool quick) {
   return micro;
 }
 
+struct CodecPoint {
+  size_t relays = 0;
+  double serialize_mb_per_second = 0.0;
+  double parse_mb_per_second = 0.0;
+  double digest_mb_per_second = 0.0;
+};
+
+struct CodecMicro {
+  // Wire-codec throughput across the relay axis plus steady-state allocation
+  // rates — the streaming-serializer / cursor-parser contract
+  // (src/tordir/dirspec.cc). Pre-refactor baseline at 8k relays: ~719 MB/s
+  // serialize, ~212 MB/s parse, ~8 heap allocations per relay parsed.
+  std::vector<CodecPoint> points;
+  double serialize_allocations_per_relay = 0.0;
+  double parse_allocations_per_relay = 0.0;
+};
+
+// Floors for the self-check: far below the ~4000/1100 MB/s the streaming
+// codec measures on the CI container class, far above the ~719/212 MB/s
+// pre-refactor baseline — a regression to per-field temporaries or per-line
+// vectors trips them on any hardware tier. Absolute-throughput floors only
+// make sense in unsanitized builds (TSan/ASan cost ~10-80x and run the same
+// binary in CI); the allocation checks hold everywhere.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr bool kThroughputFloorsApply = false;
+#else
+constexpr bool kThroughputFloorsApply = true;
+#endif
+constexpr double kMinSerializeMbps = 1000.0;
+constexpr double kMinParseMbps = 400.0;
+constexpr double kMaxCodecAllocationsPerRelay = 0.05;
+
+CodecMicro MeasureCodec(bool quick) {
+  const std::vector<size_t> relay_counts =
+      quick ? std::vector<size_t>{1000, 8000} : std::vector<size_t>{1000, 8000, 64000};
+
+  CodecMicro micro;
+  for (const size_t relays : relay_counts) {
+    tordir::PopulationConfig config;
+    config.relay_count = relays;
+    config.seed = 3;
+    const auto population = tordir::GeneratePopulation(config);
+    const auto vote = tordir::MakeVote(0, 9, population, config);
+
+    std::string text = tordir::SerializeVote(vote);  // warm-up (interns, heap)
+    const double megabytes = static_cast<double>(text.size()) / 1e6;
+    const int rounds = relays >= 64000 ? 4 : (relays >= 8000 ? 20 : 80);
+
+    const uint64_t serialize_allocs_before = AllocationCount();
+    const auto serialize_start = Clock::now();
+    for (int i = 0; i < rounds; ++i) {
+      text = tordir::SerializeVote(vote);
+    }
+    const double serialize_seconds = SecondsSince(serialize_start);
+    const uint64_t serialize_allocs = AllocationCount() - serialize_allocs_before;
+
+    auto parsed = tordir::ParseVote(text);  // warm-up
+    const uint64_t parse_allocs_before = AllocationCount();
+    const auto parse_start = Clock::now();
+    for (int i = 0; i < rounds; ++i) {
+      parsed = tordir::ParseVote(text);
+    }
+    const double parse_seconds = SecondsSince(parse_start);
+    const uint64_t parse_allocs = AllocationCount() - parse_allocs_before;
+    if (!parsed.ok() || parsed->relays.size() != vote.relays.size()) {
+      std::abort();  // the codec row must measure a correct round trip
+    }
+
+    const auto digest_start = Clock::now();
+    for (int i = 0; i < rounds; ++i) {
+      benchmark_sink += tordir::VoteDigest(vote).bytes()[0];
+    }
+    const double digest_seconds = SecondsSince(digest_start);
+
+    CodecPoint point;
+    point.relays = relays;
+    point.serialize_mb_per_second = megabytes * rounds / serialize_seconds;
+    point.parse_mb_per_second = megabytes * rounds / parse_seconds;
+    point.digest_mb_per_second = megabytes * rounds / digest_seconds;
+    micro.points.push_back(point);
+    if (relays == 8000) {
+      const double per_round_relays = static_cast<double>(vote.relays.size()) * rounds;
+      micro.serialize_allocations_per_relay =
+          static_cast<double>(serialize_allocs) / per_round_relays;
+      micro.parse_allocations_per_relay = static_cast<double>(parse_allocs) / per_round_relays;
+    }
+  }
+  return micro;
+}
+
 struct EventMicro {
   double schedule_fire_ns = 0.0;
   double schedule_cancel_ns = 0.0;
@@ -282,6 +376,16 @@ int main(int argc, char** argv) {
   std::printf("  schedule->cancel: %7.1f ns/event\n", micro.schedule_cancel_ns);
   std::printf("  allocations     : %7.3f per event\n\n", micro.allocations_per_event);
 
+  std::printf("codec micro (SerializeVote / ParseVote / VoteDigest)...\n");
+  const CodecMicro codec = MeasureCodec(quick);
+  for (const CodecPoint& point : codec.points) {
+    std::printf("  %6zu relays : %7.0f MB/s serialize  %7.0f MB/s parse  %7.0f MB/s digest\n",
+                point.relays, point.serialize_mb_per_second, point.parse_mb_per_second,
+                point.digest_mb_per_second);
+  }
+  std::printf("  allocations     : %7.4f serialize / %7.4f parse per relay (8k)\n\n",
+              codec.serialize_allocations_per_relay, codec.parse_allocations_per_relay);
+
   std::printf("aggregate micro (ComputeConsensus, 9 authorities)...\n");
   const AggregateMicro aggregate = MeasureAggregate(quick);
   for (const AggregatePoint& point : aggregate.points) {
@@ -333,6 +437,19 @@ int main(int argc, char** argv) {
        << "  \"parallel_seconds\": " << parallel_seconds << ",\n"
        << "  \"speedup\": " << speedup << ",\n"
        << "  \"parallel_identical_to_serial\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"codec\": {\n";
+  for (const CodecPoint& point : codec.points) {
+    json << "    \"serialize_mb_per_second_" << point.relays / 1000 << "k\": "
+         << point.serialize_mb_per_second << ",\n"
+         << "    \"parse_mb_per_second_" << point.relays / 1000 << "k\": "
+         << point.parse_mb_per_second << ",\n"
+         << "    \"digest_mb_per_second_" << point.relays / 1000 << "k\": "
+         << point.digest_mb_per_second << ",\n";
+  }
+  json << "    \"serialize_allocations_per_relay\": " << codec.serialize_allocations_per_relay
+       << ",\n"
+       << "    \"parse_allocations_per_relay\": " << codec.parse_allocations_per_relay << "\n"
+       << "  },\n"
        << "  \"aggregate\": {\n";
   for (size_t i = 0; i < aggregate.points.size(); ++i) {
     const AggregatePoint& point = aggregate.points[i];
@@ -367,6 +484,27 @@ int main(int argc, char** argv) {
   if (aggregate.allocations_per_relay > 0.05) {
     std::fprintf(stderr, "REGRESSION: consensus aggregation allocates (%f per relay)\n",
                  aggregate.allocations_per_relay);
+    return 1;
+  }
+  for (const CodecPoint& point : codec.points) {
+    if (point.relays != 8000 || !kThroughputFloorsApply) {
+      continue;  // thresholds anchor on the 8k point benches track
+    }
+    if (point.serialize_mb_per_second < kMinSerializeMbps) {
+      std::fprintf(stderr, "REGRESSION: SerializeVote below %.0f MB/s (%.0f)\n", kMinSerializeMbps,
+                   point.serialize_mb_per_second);
+      return 1;
+    }
+    if (point.parse_mb_per_second < kMinParseMbps) {
+      std::fprintf(stderr, "REGRESSION: ParseVote below %.0f MB/s (%.0f)\n", kMinParseMbps,
+                   point.parse_mb_per_second);
+      return 1;
+    }
+  }
+  if (codec.serialize_allocations_per_relay > kMaxCodecAllocationsPerRelay ||
+      codec.parse_allocations_per_relay > kMaxCodecAllocationsPerRelay) {
+    std::fprintf(stderr, "REGRESSION: codec allocates per relay (%f serialize, %f parse)\n",
+                 codec.serialize_allocations_per_relay, codec.parse_allocations_per_relay);
     return 1;
   }
   return 0;

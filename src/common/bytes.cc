@@ -1,5 +1,7 @@
 #include "src/common/bytes.h"
 
+#include <array>
+
 namespace torbase {
 namespace {
 
@@ -16,18 +18,7 @@ std::string EncodeWithAlphabet(std::span<const uint8_t> data, const char* alphab
   return out;
 }
 
-int HexValue(char c) {
-  if (c >= '0' && c <= '9') {
-    return c - '0';
-  }
-  if (c >= 'a' && c <= 'f') {
-    return c - 'a' + 10;
-  }
-  if (c >= 'A' && c <= 'F') {
-    return c - 'A' + 10;
-  }
-  return -1;
-}
+int HexValue(char c) { return hex_internal::kNibbles[static_cast<uint8_t>(c)]; }
 
 }  // namespace
 

@@ -45,6 +45,152 @@ class Writer {
   Bytes buffer_;
 };
 
+// --- text sinks --------------------------------------------------------------
+// Streaming text output for the dir-spec codec: a fixed stack buffer in front
+// of an arbitrary byte consumer. The serializer formats every field with
+// inline appends into the buffer (no per-field std::string temporaries) and
+// the backend sees large contiguous ~16 KB chunks — the codec's Sha256
+// backend digests whole blocks without ever materializing the multi-megabyte
+// document. String output uses StringCursorSink below instead (same
+// interface, no bounce buffer).
+//
+// Backend contract: `void Write(const char* data, size_t n)`. The sink is
+// move-free and lives on the caller's stack; call Flush() (or let the
+// destructor do it) before reading the backend's result.
+template <typename Backend>
+class BufferedTextSink {
+ public:
+  // Upper bound a Scratch() caller may request; sized so a whole serialized
+  // relay row (fixed text plus realistic variable-width strings) composes in
+  // one block.
+  static constexpr size_t kScratchMax = 1024;
+
+  explicit BufferedTextSink(Backend& backend) : backend_(backend) {}
+  ~BufferedTextSink() { Flush(); }
+
+  BufferedTextSink(const BufferedTextSink&) = delete;
+  BufferedTextSink& operator=(const BufferedTextSink&) = delete;
+
+  void Append(std::string_view s) {
+    if (s.empty()) {
+      return;  // also sidesteps memcpy from a null data() pointer
+    }
+    if (s.size() > kCapacity - used_) {
+      Flush();
+      if (s.size() > kCapacity) {
+        backend_.Write(s.data(), s.size());  // oversized: bypass the buffer
+        return;
+      }
+    }
+    __builtin_memcpy(buffer_ + used_, s.data(), s.size());
+    used_ += s.size();
+  }
+
+  void Push(char c) {
+    if (used_ == kCapacity) {
+      Flush();
+    }
+    buffer_[used_++] = c;
+  }
+
+  // Returns a pointer with at least `n` (<= kScratchMax) writable chars;
+  // Commit() the number actually written.
+  char* Scratch(size_t n) {
+    if (n > kCapacity - used_) {
+      Flush();
+    }
+    return buffer_ + used_;
+  }
+  void Commit(size_t n) { used_ += n; }
+
+  void Flush() {
+    if (used_ > 0) {
+      backend_.Write(buffer_, used_);
+      used_ = 0;
+    }
+  }
+
+ private:
+  static constexpr size_t kCapacity = 16384;
+  static_assert(kScratchMax <= kCapacity);
+
+  Backend& backend_;
+  size_t used_ = 0;
+  char buffer_[kCapacity];
+};
+
+// Cursor sink writing straight into a pre-sized std::string — same interface
+// as BufferedTextSink, no intermediate buffer and no flush copy. The string is
+// resized to `size_hint` once (its fill cost is the price of skipping the
+// bounce copy; callers pass a calibrated document-size estimate), grown
+// geometrically on underestimates, and trimmed by Finish().
+class StringCursorSink {
+ public:
+  static constexpr size_t kScratchMax = 1024;
+
+  StringCursorSink(std::string& out, size_t size_hint) : out_(out) {
+    Resize(size_hint > kScratchMax ? size_hint : kScratchMax);
+    cursor_ = out_.data();
+  }
+
+  void Append(std::string_view s) {
+    if (s.empty()) {
+      return;
+    }
+    Ensure(s.size());
+    __builtin_memcpy(cursor_, s.data(), s.size());
+    cursor_ += s.size();
+  }
+
+  void Push(char c) {
+    Ensure(1);
+    *cursor_++ = c;
+  }
+
+  char* Scratch(size_t n) {
+    Ensure(n);
+    return cursor_;
+  }
+  void Commit(size_t n) { cursor_ += n; }
+
+  void Flush() {}  // writes are already in place
+
+  // Trims the string to the bytes actually written. Required before use;
+  // the sink must not be written to afterwards.
+  void Finish() {
+    out_.resize(static_cast<size_t>(cursor_ - out_.data()));
+  }
+
+ private:
+  // Sizes the string without zero-filling when the library allows it; every
+  // byte up to Finish()'s cursor is overwritten by the serializer before the
+  // caller can observe it.
+  void Resize(size_t n) {
+#ifdef __cpp_lib_string_resize_and_overwrite
+    out_.resize_and_overwrite(n, [](char*, size_t count) { return count; });
+#else
+    out_.resize(n);
+#endif
+  }
+  void Ensure(size_t n) {
+    if (static_cast<size_t>(out_.data() + out_.size() - cursor_) < n) {
+      Grow(n);
+    }
+  }
+  void Grow(size_t n) {
+    const size_t used = static_cast<size_t>(cursor_ - out_.data());
+    size_t grown = out_.size() * 2;
+    if (grown < used + n) {
+      grown = used + n + kScratchMax;
+    }
+    Resize(grown);
+    cursor_ = out_.data() + used;
+  }
+
+  std::string& out_;
+  char* cursor_ = nullptr;
+};
+
 class Reader {
  public:
   explicit Reader(std::span<const uint8_t> data) : data_(data) {}

@@ -27,6 +27,10 @@ class Sha256 {
 
   void Update(std::span<const uint8_t> data);
   void Update(std::string_view data) { Update(AsByteSpan(data)); }
+  // Raw-char form for streaming text producers (the dir-spec codec's digest
+  // sink flushes its buffer here chunk by chunk, so document digests never
+  // materialize the serialized text).
+  void Update(const char* data, size_t n) { Update(std::string_view(data, n)); }
 
   // Finalizes and returns the digest. The context must not be reused after
   // Finish() without Reset().

@@ -97,6 +97,34 @@ void AnalyzeClientLoad(const ScenarioSpec& spec, const torproto::PublishedConsen
 
 }  // namespace
 
+std::shared_ptr<const ScenarioRunner::Workload> ScenarioRunner::BuildWorkload(
+    const ScenarioSpec& spec) {
+  tordir::PopulationConfig pop_config;
+  pop_config.relay_count = spec.relay_count;
+  pop_config.seed = spec.seed;
+  auto workload = std::make_shared<Workload>();
+  workload->population = tordir::GeneratePopulation(pop_config);
+  auto cache = std::make_shared<tordir::VoteCache>();
+  std::vector<tordir::VoteDocument> votes =
+      tordir::MakeAllVotes(spec.authority_count, workload->population, pop_config);
+  workload->votes.reserve(votes.size());
+  workload->vote_texts.reserve(votes.size());
+  workload->vote_digests.reserve(votes.size());
+  cache->Reserve(votes.size());
+  for (tordir::VoteDocument& vote : votes) {
+    auto document = std::make_shared<const tordir::VoteDocument>(std::move(vote));
+    auto text = std::make_shared<const std::string>(tordir::SerializeVote(*document));
+    const torcrypto::Digest256 digest = torcrypto::Digest256::Of(*text);
+    cache->Add(digest, tordir::CachedVote{document, text});
+    workload->votes.push_back(std::move(document));
+    workload->vote_texts.push_back(std::move(text));
+    workload->vote_digests.push_back(digest);
+  }
+  cache->Seal();
+  workload->vote_cache = std::move(cache);
+  return workload;
+}
+
 std::shared_ptr<const ScenarioRunner::Workload> ScenarioRunner::GetWorkload(
     const ScenarioSpec& spec) {
   const WorkloadKey key{spec.relay_count, spec.seed, spec.authority_count};
@@ -112,31 +140,10 @@ std::shared_ptr<const ScenarioRunner::Workload> ScenarioRunner::GetWorkload(
   // Generate outside the lock: workload construction is seconds of CPU at
   // large relay counts and depends only on the key. Distinct keys generate
   // concurrently; the same key can only be generated twice if two threads
-  // miss on it at once, which the parallel sweep's serial pre-materialization
-  // rules out (and which would only waste work, never corrupt: last insert
-  // wins and both copies are equivalent).
-  tordir::PopulationConfig pop_config;
-  pop_config.relay_count = spec.relay_count;
-  pop_config.seed = spec.seed;
-  auto workload = std::make_shared<Workload>();
-  workload->population = tordir::GeneratePopulation(pop_config);
-  auto cache = std::make_shared<tordir::VoteCache>();
-  std::vector<tordir::VoteDocument> votes =
-      tordir::MakeAllVotes(spec.authority_count, workload->population, pop_config);
-  workload->votes.reserve(votes.size());
-  workload->vote_texts.reserve(votes.size());
-  workload->vote_digests.reserve(votes.size());
-  for (tordir::VoteDocument& vote : votes) {
-    auto document = std::make_shared<const tordir::VoteDocument>(std::move(vote));
-    auto text = std::make_shared<const std::string>(tordir::SerializeVote(*document));
-    const torcrypto::Digest256 digest = torcrypto::Digest256::Of(*text);
-    cache->Add(digest, tordir::CachedVote{document, text});
-    workload->votes.push_back(std::move(document));
-    workload->vote_texts.push_back(std::move(text));
-    workload->vote_digests.push_back(digest);
-  }
-  cache->Seal();
-  workload->vote_cache = std::move(cache);
+  // miss on it at once, which the parallel sweep's pre-materialization rules
+  // out (and which would only waste work, never corrupt: last insert wins and
+  // both copies are equivalent).
+  auto workload = BuildWorkload(spec);
   std::lock_guard<std::mutex> lock(workloads_mutex_);
   workloads_[key] = workload;
   return workload;
@@ -311,13 +318,52 @@ std::vector<ScenarioResult> ScenarioRunner::Sweep(const std::vector<ScenarioSpec
     return Sweep(specs);
   }
 
-  // Pre-materialize workloads serially, in spec order: telemetry counts
-  // exactly one GetWorkload per cell — the same hits/misses a serial sweep
-  // records — and the parallel phase below never touches the cache.
-  std::vector<std::shared_ptr<const Workload>> workloads;
-  workloads.reserve(specs.size());
-  for (const ScenarioSpec& spec : specs) {
-    workloads.push_back(GetWorkload(spec));
+  torbase::ThreadPool pool(threads);
+
+  // Materialize workloads for every cell before any cell runs. The cache
+  // probe happens serially in spec order so telemetry counts exactly what a
+  // serial sweep records (first occurrence of an uncached key is the miss,
+  // repeats are hits); the cache-missing workloads themselves — generation,
+  // serialization, digesting and VoteCache build, independent per key — are
+  // then built on the sweep's thread pool. Insertion back into the cache is
+  // serial and in first-appearance order, so the cache state is identical to
+  // a serial sweep's. Pool threads intern relay strings concurrently; the
+  // string pool's lock-free index keeps that race-free and ids never
+  // influence results (ROADMAP threading contract).
+  std::vector<std::shared_ptr<const Workload>> workloads(specs.size());
+  std::vector<size_t> build_spec_indexes;  // first spec index per missing key
+  {
+    std::lock_guard<std::mutex> lock(workloads_mutex_);
+    std::map<WorkloadKey, size_t> missing;  // key -> index into build results
+    for (size_t i = 0; i < specs.size(); ++i) {
+      const WorkloadKey key{specs[i].relay_count, specs[i].seed, specs[i].authority_count};
+      if (const auto it = workloads_.find(key); it != workloads_.end()) {
+        ++cache_hits_;
+        workloads[i] = it->second;
+      } else if (missing.emplace(key, build_spec_indexes.size()).second) {
+        ++cache_misses_;
+        build_spec_indexes.push_back(i);
+      } else {
+        ++cache_hits_;  // duplicate key in this sweep: built once, shared
+      }
+    }
+  }
+  if (!build_spec_indexes.empty()) {
+    std::vector<std::shared_ptr<const Workload>> built(build_spec_indexes.size());
+    pool.ParallelFor(built.size(), [this, &specs, &build_spec_indexes, &built](size_t j) {
+      built[j] = BuildWorkload(specs[build_spec_indexes[j]]);
+    });
+    std::lock_guard<std::mutex> lock(workloads_mutex_);
+    for (size_t j = 0; j < built.size(); ++j) {
+      const ScenarioSpec& spec = specs[build_spec_indexes[j]];
+      workloads_[WorkloadKey{spec.relay_count, spec.seed, spec.authority_count}] = built[j];
+    }
+    for (size_t i = 0; i < specs.size(); ++i) {
+      if (workloads[i] == nullptr) {
+        workloads[i] = workloads_.at(
+            WorkloadKey{specs[i].relay_count, specs[i].seed, specs[i].authority_count});
+      }
+    }
   }
 
   // Each cell gets a private copy of the spec with a cloned attack schedule:
@@ -333,7 +379,6 @@ std::vector<ScenarioResult> ScenarioRunner::Sweep(const std::vector<ScenarioSpec
   }
 
   std::vector<ScenarioResult> results(cells.size());
-  torbase::ThreadPool pool(threads);
   pool.ParallelFor(cells.size(), [this, &cells, &workloads, &results](size_t i) {
     results[i] = RunWithWorkload(cells[i], *workloads[i], InspectFn());
   });

@@ -5,10 +5,11 @@
 // workload — so the runner generates each workload once and reuses it across
 // runs.
 //
-// Sweeps can run cells in parallel (SweepOptions::threads): workloads are
-// pre-materialized serially (so cache telemetry stays exact), then each cell
-// runs on a private Simulator/Harness with a per-cell clone of the attack
-// schedule. Parallel results are bit-identical to a serial sweep.
+// Sweeps can run cells in parallel (SweepOptions::threads): the workload
+// cache is probed serially in spec order (so telemetry stays exact), cache-
+// missing workloads are built concurrently on the sweep's thread pool, then
+// each cell runs on a private Simulator/Harness with a per-cell clone of the
+// attack schedule. Parallel results are bit-identical to a serial sweep.
 #ifndef SRC_SCENARIO_RUNNER_H_
 #define SRC_SCENARIO_RUNNER_H_
 
@@ -85,6 +86,12 @@ class ScenarioRunner {
   };
   using WorkloadKey = std::tuple<size_t, uint64_t, uint32_t>;  // (relays, seed, n)
 
+  // Generates a workload for `spec` without touching the cache or telemetry:
+  // pure function of (relay_count, seed, authority_count), safe to call from
+  // pool threads (the parallel sweep builds cache-missing workloads
+  // concurrently; string interning inside is thread-safe and ids never
+  // influence results).
+  std::shared_ptr<const Workload> BuildWorkload(const ScenarioSpec& spec);
   std::shared_ptr<const Workload> GetWorkload(const ScenarioSpec& spec);
   // The core of Run(): executes `spec` against an already-resolved workload
   // without touching the cache (the parallel sweep pre-resolves workloads so

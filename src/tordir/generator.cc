@@ -1,10 +1,13 @@
 #include "src/tordir/generator.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <span>
+#include <string_view>
 
-#include "src/common/serialize.h"
 #include "src/crypto/sha256.h"
 
 namespace tordir {
@@ -30,22 +33,37 @@ const char* const kExitPolicyPool[] = {
     "accept 443,6667",
 };
 
+// The derive helpers hash tiny fixed-shape messages once per relay; composing
+// them on the stack (byte-identical to the torbase::Writer framing they
+// replace: little-endian u64s, u32-length-prefixed strings) keeps population
+// generation allocation-free — at 256k relays the old per-call Writer buffers
+// were a measurable share of workload build.
+void PutU64Le(uint8_t* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
 Fingerprint DeriveFingerprint(uint64_t seed, uint64_t index) {
-  torbase::Writer w;
-  w.WriteU64(seed);
-  w.WriteU64(index);
-  w.WriteString("relay-fingerprint");
-  const auto digest = torcrypto::Sha256Digest(w.buffer());
+  constexpr std::string_view kLabel = "relay-fingerprint";
+  std::array<uint8_t, 8 + 8 + 4 + kLabel.size()> message{};
+  PutU64Le(message.data(), seed);
+  PutU64Le(message.data() + 8, index);
+  message[16] = static_cast<uint8_t>(kLabel.size());  // u32 LE length prefix
+  std::memcpy(message.data() + 20, kLabel.data(), kLabel.size());
+  const auto digest = torcrypto::Sha256Digest(std::span<const uint8_t>(message));
   Fingerprint fp;
   std::copy(digest.begin(), digest.begin() + 20, fp.begin());
   return fp;
 }
 
 std::array<uint8_t, 32> DeriveMicrodescDigest(const Fingerprint& fp) {
-  torbase::Writer w;
-  w.WriteRaw(fp);
-  w.WriteString("microdesc");
-  return torcrypto::Sha256Digest(w.buffer());
+  constexpr std::string_view kLabel = "microdesc";
+  std::array<uint8_t, 20 + 4 + kLabel.size()> message{};
+  std::memcpy(message.data(), fp.data(), fp.size());
+  message[20] = static_cast<uint8_t>(kLabel.size());  // u32 LE length prefix
+  std::memcpy(message.data() + 24, kLabel.data(), kLabel.size());
+  return torcrypto::Sha256Digest(std::span<const uint8_t>(message));
 }
 
 }  // namespace

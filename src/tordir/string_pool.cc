@@ -6,6 +6,8 @@
 #include <cstring>
 #include <ostream>
 
+#include "src/common/bytes.h"
+
 namespace tordir {
 
 StringPool& StringPool::Global() {
@@ -17,12 +19,14 @@ StringPool& StringPool::Global() {
 }
 
 StringPool::StringPool() {
+  // 16k slots cover an 8k-relay workload's distinct strings without a resize;
+  // the table doubles under the mutex as populations grow past that.
+  index_.store(new IndexTable(1u << 14), std::memory_order_release);
   // Seed id 0 = "" so a default-constructed InternedString is the empty
   // string without ever touching the index.
   Chunk* chunk = new Chunk();
   chunk->entries[0] = std::string_view();
   chunks_[0].store(chunk, std::memory_order_release);
-  index_.emplace(std::string_view(), 0);
   count_.store(1, std::memory_order_release);
 }
 
@@ -50,14 +54,44 @@ std::string_view StringPool::ArenaCopy(std::string_view s) {
   return std::string_view(dst, s.size());
 }
 
-uint32_t StringPool::Intern(std::string_view s) {
-  if (s.empty()) {
-    return 0;
+void StringPool::GrowIndexLocked() {
+  const IndexTable* old_table = index_.load(std::memory_order_relaxed);
+  auto grown = std::make_unique<IndexTable>((old_table->mask + 1) * 2);
+  for (uint32_t idx = 0; idx <= old_table->mask; ++idx) {
+    const IndexSlot& slot = old_table->slots[idx];
+    const uint64_t tag_id = slot.tag_id.load(std::memory_order_relaxed);
+    if (tag_id == 0) {
+      continue;
+    }
+    // Recompute the full hash from the entry bytes (View of the id); the
+    // slot only kept 32 tag bits.
+    const std::string_view bytes = View(static_cast<uint32_t>(tag_id) - 1);
+    const uint64_t hash = torbase::HashBytes(bytes);
+    uint32_t new_idx = static_cast<uint32_t>(hash) & grown->mask;
+    while (grown->slots[new_idx].tag_id.load(std::memory_order_relaxed) != 0) {
+      new_idx = (new_idx + 1) & grown->mask;
+    }
+    IndexSlot& dst = grown->slots[new_idx];
+    dst.size = slot.size;
+    std::memcpy(dst.head, slot.head, kInlineKeyBytes);
+    dst.tail = slot.tail;
+    dst.tag_id.store(tag_id, std::memory_order_relaxed);
   }
+  IndexTable* published = grown.get();
+  retired_indexes_.emplace_back(
+      const_cast<IndexTable*>(old_table));  // keep alive for concurrent readers
+  grown.release();
+  index_.store(published, std::memory_order_release);
+}
+
+uint32_t StringPool::InternSlow(std::string_view s, uint64_t hash) {
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(s);
-  if (it != index_.end()) {
-    return it->second;
+  // Re-probe the current table under the lock: the lock-free miss may have
+  // raced with another thread's insert (or a table swap).
+  IndexTable* table = index_.load(std::memory_order_relaxed);
+  uint32_t empty_slot = 0;
+  if (const uint32_t id = Probe(*table, s, hash, &empty_slot); id != kNotFound) {
+    return id;
   }
   const uint32_t id = count_.load(std::memory_order_relaxed);
   const uint32_t chunk_index = id >> kChunkBits;
@@ -75,17 +109,22 @@ uint32_t StringPool::Intern(std::string_view s) {
   }
   const std::string_view stable = ArenaCopy(s);
   chunk->entries[id & (kChunkSize - 1)] = stable;
-  index_.emplace(stable, id);
   // Release so size() readers observe the entry; cross-thread id transport
   // supplies its own happens-before edge (see header).
   count_.store(id + 1, std::memory_order_release);
+  // Fill the slot's key fields, then publish tag_id last (release): a
+  // lock-free prober that sees the tag is guaranteed to see the key bytes and
+  // the entry behind it.
+  IndexSlot& slot = table->slots[empty_slot];
+  slot.size = static_cast<uint32_t>(stable.size());
+  const size_t head_len = stable.size() < kInlineKeyBytes ? stable.size() : kInlineKeyBytes;
+  std::memcpy(slot.head, stable.data(), head_len);
+  slot.tail = stable.size() > kInlineKeyBytes ? stable.data() + kInlineKeyBytes : nullptr;
+  slot.tag_id.store(PackSlot(hash, id), std::memory_order_release);
+  if (++index_filled_ * 2 > table->mask + 1) {
+    GrowIndexLocked();
+  }
   return id;
-}
-
-std::string_view StringPool::View(uint32_t id) const {
-  assert(id < count_.load(std::memory_order_acquire) && "unknown string id");
-  const Chunk* chunk = chunks_[id >> kChunkBits].load(std::memory_order_acquire);
-  return chunk->entries[id & (kChunkSize - 1)];
 }
 
 std::ostream& operator<<(std::ostream& os, InternedString s) { return os << s.view(); }

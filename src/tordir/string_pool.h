@@ -19,14 +19,17 @@
 //   * Equal strings always intern to the same id (hash-consing), so ids are
 //     comparable across documents, workloads and threads — two independently
 //     parsed copies of a vote produce bit-identical RelayStatus rows.
-//   * Intern() is guarded by a mutex; View() is lock-free. A reader may
+//   * Intern() resolves repeat strings through a lock-free open-addressing
+//     index (append-only slots published with release stores), so the hit
+//     path — all of steady-state parsing — takes no lock at all; only genuine
+//     inserts fall through to the mutex. View() is lock-free. A reader may
 //     resolve any id it legitimately holds: transporting an id across threads
 //     requires a happens-before edge (thread-pool task handoff, a mutexed
 //     cache, ...), and that same edge publishes the entry bytes. This is what
-//     keeps the scenario runner's parallel sweeps TSan-clean: workloads
-//     intern serially at build time and cells mostly View() — run-time
-//     interning happens only when a cell parses non-canonical bytes (vote-
-//     cache miss), which is mutex-safe, merely contended.
+//     keeps the scenario runner's parallel sweeps (and its parallel workload
+//     materialization) TSan-clean and contention-free: concurrent builders
+//     mostly hit the lock-free index, and the rare concurrent insert is
+//     mutex-safe, merely contended.
 //   * Because the pool never evicts, adversarial inputs can grow it for the
 //     process lifetime; that is an accepted simulator trade-off, and
 //     exhausting the 128M-entry id space aborts loudly rather than wrapping.
@@ -35,14 +38,17 @@
 #define SRC_TORDIR_STRING_POOL_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
+
+#include "src/common/bytes.h"
 
 namespace tordir {
 
@@ -55,12 +61,44 @@ class StringPool {
   StringPool(const StringPool&) = delete;
   StringPool& operator=(const StringPool&) = delete;
 
-  // Returns the id for `s`, inserting it if new. Thread-safe (mutex).
-  uint32_t Intern(std::string_view s);
+  // Returns the id for `s`, inserting it if new. Thread-safe: repeats (all of
+  // steady-state parsing) resolve through the lock-free index probe inline;
+  // only genuine inserts take the mutex.
+  uint32_t Intern(std::string_view s) {
+    if (s.empty()) {
+      return 0;
+    }
+    const uint64_t hash = torbase::HashBytes(s);
+    const uint32_t id = Probe(*index_.load(std::memory_order_acquire), s, hash);
+    if (id != kNotFound) {
+      return id;
+    }
+    return InternSlow(s, hash);
+  }
 
-  // Resolves an id previously returned by Intern(). Lock-free; see the
-  // header comment for the cross-thread visibility contract.
-  std::string_view View(uint32_t id) const;
+  // Warms the index slot a subsequent Intern(s) will probe. The dir-spec
+  // parser issues these for a relay's unique strings before decoding the rest
+  // of the entry, hiding the (dependent-load) probe latency behind real work.
+  void PrefetchIntern(std::string_view s) const {
+    const IndexTable* table = index_.load(std::memory_order_acquire);
+    __builtin_prefetch(&table->slots[static_cast<uint32_t>(torbase::HashBytes(s)) & table->mask]);
+  }
+
+  // Resolves an id previously returned by Intern(). Lock-free (inline: the
+  // serializer resolves five ids per relay); see the header comment for the
+  // cross-thread visibility contract.
+  std::string_view View(uint32_t id) const {
+    assert(id < count_.load(std::memory_order_acquire) && "unknown string id");
+    const Chunk* chunk = chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+    return chunk->entries[id & (kChunkSize - 1)];
+  }
+
+  // Warms the entry cell View(id) will read; the serializer prefetches the
+  // next relay's unique strings while formatting the current one.
+  void PrefetchView(uint32_t id) const {
+    const Chunk* chunk = chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+    __builtin_prefetch(&chunk->entries[id & (kChunkSize - 1)]);
+  }
 
   // Number of distinct strings interned so far (including the empty string).
   size_t size() const { return count_.load(std::memory_order_acquire); }
@@ -74,11 +112,77 @@ class StringPool {
     std::string_view entries[kChunkSize];
   };
 
+  // Open-addressing index with lock-free probes. A slot's tag_id is either 0
+  // (empty, forever or not-yet-published) or packs {hash tag, id + 1}; the
+  // key's size and leading bytes live inline in the slot (arena pointer for
+  // the tail), so a warm hit costs the slot's cache line and nothing else —
+  // no chunk/arena chase. Slots are write-once — the pool never deletes — and
+  // tag_id is published last (release), so a reader either sees a fully
+  // written slot or keeps probing. Resizing publishes a fresh table; readers
+  // holding the old one see a complete prefix of the entries and miss into
+  // the mutex path, which re-probes the current table before inserting.
+  static constexpr size_t kInlineKeyBytes = 16;
+
+  struct IndexSlot {
+    std::atomic<uint64_t> tag_id{0};
+    uint32_t size = 0;
+    char head[kInlineKeyBytes] = {};
+    const char* tail = nullptr;  // arena bytes past `head` for longer keys
+  };
+
+  struct IndexTable {
+    explicit IndexTable(uint32_t capacity)
+        : mask(capacity - 1), slots(new IndexSlot[capacity]) {}
+    const uint32_t mask;  // capacity - 1; capacity is a power of two
+    std::unique_ptr<IndexSlot[]> slots;
+  };
+
+  static constexpr uint32_t kNotFound = ~0u;
+  static uint64_t PackSlot(uint64_t hash, uint32_t id) {
+    return (hash >> 32 << 32) | (static_cast<uint64_t>(id) + 1);
+  }
+
+  // Probes `table` for `s` (pre-hashed as `hash`). Returns the id, or
+  // kNotFound after an empty slot; *empty_slot (mutex path only) receives the
+  // insertion point.
+  uint32_t Probe(const IndexTable& table, std::string_view s, uint64_t hash,
+                 uint32_t* empty_slot = nullptr) const {
+    const uint32_t tag = static_cast<uint32_t>(hash >> 32);
+    uint32_t idx = static_cast<uint32_t>(hash) & table.mask;
+    while (true) {
+      const IndexSlot& slot = table.slots[idx];
+      const uint64_t tag_id = slot.tag_id.load(std::memory_order_acquire);
+      if (tag_id == 0) {
+        if (empty_slot != nullptr) {
+          *empty_slot = idx;
+        }
+        return kNotFound;
+      }
+      if (static_cast<uint32_t>(tag_id >> 32) == tag && slot.size == s.size()) {
+        const size_t head_len = s.size() < kInlineKeyBytes ? s.size() : kInlineKeyBytes;
+        if (std::memcmp(slot.head, s.data(), head_len) == 0 &&
+            (s.size() <= kInlineKeyBytes ||
+             std::memcmp(slot.tail, s.data() + kInlineKeyBytes,
+                         s.size() - kInlineKeyBytes) == 0)) {
+          return static_cast<uint32_t>(tag_id) - 1;
+        }
+      }
+      idx = (idx + 1) & table.mask;
+    }
+  }
+
+  uint32_t InternSlow(std::string_view s, uint64_t hash);
+  void GrowIndexLocked();
+
   // Copies `s` into the arena and returns a stable view of the copy.
   std::string_view ArenaCopy(std::string_view s);
 
   mutable std::mutex mutex_;
-  std::unordered_map<std::string_view, uint32_t> index_;
+  std::atomic<IndexTable*> index_;
+  // Replaced tables are retired here, never freed: a concurrent reader may
+  // still be probing one (same leak-by-design as the arena).
+  std::vector<std::unique_ptr<IndexTable>> retired_indexes_;
+  uint32_t index_filled_ = 0;
   std::vector<std::unique_ptr<char[]>> arena_;
   // Bump allocator over the most recent *regular* arena block. Oversized
   // strings get dedicated blocks that never become the bump block.
@@ -97,6 +201,16 @@ class InternedString {
   InternedString(std::string_view s) : id_(StringPool::Global().Intern(s)) {}
   InternedString(const char* s) : InternedString(std::string_view(s)) {}
   InternedString(const std::string& s) : InternedString(std::string_view(s)) {}
+
+  // Rewraps an id previously returned by StringPool::Global().Intern() (or
+  // InternedString::id()) without re-hashing the bytes. The dir-spec parser's
+  // per-document memo uses this to turn its cached ids back into handles; ids
+  // from anywhere else are a bug.
+  static InternedString FromId(uint32_t id) {
+    InternedString s;
+    s.id_ = id;
+    return s;
+  }
 
   std::string_view view() const { return StringPool::Global().View(id_); }
   operator std::string_view() const { return view(); }

@@ -68,6 +68,8 @@ struct CachedVote {
 // threads once sealed.
 class VoteCache {
  public:
+  // Pre-sizes the index for `count` upcoming Add() calls.
+  void Reserve(size_t count) { entries_.reserve(count); }
   void Add(const torcrypto::Digest256& digest, CachedVote vote);
   void Seal();  // sorts the index; required before Find()
   const CachedVote* Find(const torcrypto::Digest256& digest) const;

@@ -1,0 +1,249 @@
+// Malformed-input properties for the single-pass wire codec. The parser was
+// rewritten from a line-vector prefix chain to a cursor tokenizer with a
+// strict canonical fast path; these tests pin the accept/reject behaviour
+// (and the exact Status messages) of the pre-rewrite parser so the rewrite is
+// observationally identical: truncations at every line boundary, bad hex
+// digests, overlong word counts, missing footers, junk after signatures, and
+// non-canonical-but-valid spacings that must fall back to the general path
+// and still parse to the same document.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/tordir/dirspec.h"
+#include "src/tordir/generator.h"
+
+namespace tordir {
+namespace {
+
+VoteDocument SmallVote(size_t relays = 5) {
+  PopulationConfig config;
+  config.relay_count = relays;
+  config.seed = 11;
+  const auto population = GeneratePopulation(config);
+  return MakeVote(0, 9, population, config);
+}
+
+std::vector<size_t> LineStarts(const std::string& text) {
+  std::vector<size_t> starts{0};
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n' && i + 1 < text.size()) {
+      starts.push_back(i + 1);
+    }
+  }
+  return starts;
+}
+
+TEST(CodecPropertyTest, TruncationAtEveryLineBoundaryFailsCleanly) {
+  const std::string text = SerializeVote(SmallVote());
+  // Cutting the document at any line start (and just after any newline)
+  // removes the footer or tears a relay entry: every prefix must be rejected,
+  // and the full text accepted.
+  for (const size_t start : LineStarts(text)) {
+    if (start == 0) {
+      EXPECT_FALSE(ParseVote(std::string()).ok());
+      continue;
+    }
+    const auto result = ParseVote(text.substr(0, start));
+    EXPECT_FALSE(result.ok()) << "prefix of " << start << " bytes parsed";
+    EXPECT_EQ(result.status().code(), torbase::StatusCode::kInvalidArgument);
+  }
+  EXPECT_TRUE(ParseVote(text).ok());
+}
+
+TEST(CodecPropertyTest, TruncationMidLineFailsCleanly) {
+  const std::string text = SerializeVote(SmallVote());
+  // Cuts that land inside a line produce either a torn word or a missing
+  // footer; never a crash, never an accept.
+  for (size_t cut = 1; cut + 1 < text.size(); cut += 97) {
+    EXPECT_FALSE(ParseVote(text.substr(0, cut)).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(CodecPropertyTest, BadHexDigestsAreRejectedWithTheHistoricalMessages) {
+  const std::string text = SerializeVote(SmallVote());
+
+  // Corrupt one fingerprint character ('G' is not hex).
+  {
+    std::string bad = text;
+    const size_t r_pos = bad.find("\nr ");
+    const size_t fp_pos = bad.find(' ', bad.find(' ', r_pos + 1) + 1) + 1;
+    bad[fp_pos] = 'G';
+    const auto result = ParseVote(bad);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().message().substr(0, 16), "bad fingerprint:");
+  }
+
+  // Corrupt a microdesc digest character.
+  {
+    std::string bad = text;
+    const size_t m_pos = bad.find("\nm ");
+    bad[m_pos + 3] = 'x';
+    const auto result = ParseVote(bad);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().message(), "bad microdesc digest");
+  }
+
+  // Odd-length digest (drop one hex char).
+  {
+    std::string bad = text;
+    const size_t m_pos = bad.find("\nm ");
+    bad.erase(m_pos + 3, 1);
+    const auto result = ParseVote(bad);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().message(), "bad microdesc digest");
+  }
+}
+
+TEST(CodecPropertyTest, OverlongWordCountsAreRejected) {
+  const std::string text = SerializeVote(SmallVote());
+
+  // A ninth word on an r line.
+  {
+    std::string bad = text;
+    const size_t r_end = bad.find('\n', bad.find("\nr ") + 1);
+    bad.insert(r_end, " extra");
+    const auto result = ParseVote(bad);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().message().substr(0, 17), "malformed r line:");
+  }
+
+  // A fourth word on the authority line.
+  {
+    std::string bad = text;
+    const size_t line_end = bad.find('\n', bad.find("authority "));
+    bad.insert(line_end, " extra");
+    const auto result = ParseVote(bad);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().message(), "malformed authority line");
+  }
+
+  // Unknown flag words on the s line.
+  {
+    std::string bad = text;
+    const size_t s_pos = bad.find("\ns ");
+    bad.insert(s_pos + 3, "Bogus ");
+    const auto result = ParseVote(bad);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().message(), "unknown flag: Bogus");
+  }
+}
+
+TEST(CodecPropertyTest, MissingFooterIsRejected) {
+  std::string text = SerializeVote(SmallVote());
+  text.resize(text.size() - std::string("directory-footer\n").size());
+  const auto result = ParseVote(text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().message(), "missing directory-footer");
+}
+
+TEST(CodecPropertyTest, VoteIgnoresTrailingJunkAfterFooterConsensusDoesNot) {
+  // Historical asymmetry, pinned: the vote parser stops at the footer (junk
+  // after it is unreachable), while the consensus parser validates the
+  // signature section to the end.
+  const std::string vote_text = SerializeVote(SmallVote()) + "garbage trailing line\n";
+  EXPECT_TRUE(ParseVote(vote_text).ok());
+
+  ConsensusDocument consensus;
+  consensus.vote_count = 3;
+  consensus.relays = SmallVote().relays;
+  torcrypto::Signature sig;
+  sig.signer = 2;
+  consensus.signatures.push_back(sig);
+  const std::string consensus_text = SerializeConsensus(consensus);
+  EXPECT_TRUE(ParseConsensus(consensus_text).ok());
+
+  {
+    const auto result = ParseConsensus(consensus_text + "garbage trailing line\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().message(), "unexpected line after footer: garbage trailing line");
+  }
+  {
+    // A malformed signature line after valid ones.
+    const auto result = ParseConsensus(consensus_text + "directory-signature 9\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().message(), "malformed directory-signature line");
+  }
+  {
+    // Well-formed line, bad signature bytes.
+    const auto result = ParseConsensus(consensus_text + "directory-signature 9 abcd\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().message(), "bad signature encoding");
+  }
+  {
+    // Blank lines between signatures stay legal.
+    std::string spaced = consensus_text;
+    const size_t sig_pos = spaced.find("directory-signature");
+    spaced.insert(sig_pos, "\n");
+    EXPECT_TRUE(ParseConsensus(spaced).ok());
+  }
+}
+
+TEST(CodecPropertyTest, NonCanonicalSpacingFallsBackAndParsesIdentically) {
+  // The strict fast path only accepts the serializer's exact byte shape; any
+  // deviation must take the general path and still produce the same document.
+  const VoteDocument vote = SmallVote();
+  const std::string text = SerializeVote(vote);
+  const auto canonical = ParseVote(text);
+  ASSERT_TRUE(canonical.ok());
+  ASSERT_EQ(*canonical, vote);
+
+  // Double the space after "r" on every r line (general path, same words).
+  {
+    std::string spaced = text;
+    for (size_t pos = spaced.find("\nr "); pos != std::string::npos;
+         pos = spaced.find("\nr ", pos + 3)) {
+      spaced.insert(pos + 2, " ");
+    }
+    const auto parsed = ParseVote(spaced);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, vote);
+  }
+
+  // Reorder a relay's item lines (p before w): legal for the general parser,
+  // impossible for the fast path.
+  {
+    std::string reordered = text;
+    const size_t w_pos = reordered.find("\nw ");
+    const size_t p_pos = reordered.find("\np ", w_pos);
+    const size_t m_pos = reordered.find("\nm ", p_pos);
+    const std::string w_line = reordered.substr(w_pos + 1, p_pos - w_pos);
+    const std::string p_line = reordered.substr(p_pos + 1, m_pos - p_pos);
+    reordered.replace(w_pos + 1, m_pos - w_pos, p_line + w_line);
+    const auto parsed = ParseVote(reordered);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, vote);
+  }
+
+  // Re-serializing either way reproduces the canonical bytes.
+  EXPECT_EQ(SerializeVote(*canonical), text);
+}
+
+TEST(CodecPropertyTest, NumericEdgeCasesMatchTheGeneralParser) {
+  const std::string text = SerializeVote(SmallVote());
+
+  // Overflowing bandwidth (> uint64) is "bad Bandwidth value".
+  {
+    std::string bad = text;
+    const size_t w_pos = bad.find("Bandwidth=") + 10;
+    const size_t w_end = bad.find_first_of(" \n", w_pos);
+    bad.replace(w_pos, w_end - w_pos, "99999999999999999999999");
+    const auto result = ParseVote(bad);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().message(), "bad Bandwidth value");
+  }
+
+  // Trailing junk in a numeric r-line field is "bad integer"-driven.
+  {
+    std::string bad = text;
+    const size_t r_end = bad.find('\n', bad.find("\nr ") + 1);
+    bad.insert(r_end, "x");  // glues junk onto the published field
+    const auto result = ParseVote(bad);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().message(), "bad numeric field in r line");
+  }
+}
+
+}  // namespace
+}  // namespace tordir

@@ -203,6 +203,28 @@ TEST(DirspecTest, SizeScalesWithRelayCount) {
   EXPECT_LT(size, estimate * 115 / 100);
 }
 
+TEST(DirspecTest, EstimateTracksActualSizeAcrossTheRelayAxis) {
+  // EstimateVoteSizeBytes sizes serialization buffers (StringCursorSink) and
+  // the benches' analytic checks; if the wire format drifts, this pins the
+  // estimate to within +-20% of reality at three axis points — for both a
+  // measuring (Measured= present) and a non-measuring authority's vote.
+  for (const size_t relay_count : {size_t{100}, size_t{1000}, size_t{8000}}) {
+    PopulationConfig config;
+    config.relay_count = relay_count;
+    config.seed = 3;
+    const auto population = GeneratePopulation(config);
+    for (const torbase::NodeId authority : {torbase::NodeId{0}, torbase::NodeId{8}}) {
+      const auto vote = MakeVote(authority, 9, population, config);
+      const size_t size = SerializeVote(vote).size();
+      const size_t estimate = EstimateVoteSizeBytes(vote.relays.size());
+      EXPECT_GT(size, estimate * 80 / 100)
+          << relay_count << " relays, authority " << authority;
+      EXPECT_LT(size, estimate * 120 / 100)
+          << relay_count << " relays, authority " << authority;
+    }
+  }
+}
+
 // --- Figure 2 aggregation rules --------------------------------------------
 
 TEST(AggregateTest, MajorityInclusionThreshold) {
