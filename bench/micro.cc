@@ -5,8 +5,10 @@
 // experiment harness.
 #include <benchmark/benchmark.h>
 
+#include "src/common/thread_pool.h"
 #include "src/crypto/hmac.h"
 #include "src/crypto/sha256.h"
+#include "src/crypto/sha256_batch.h"
 #include "src/crypto/signature.h"
 #include "src/sim/event_probe.h"
 #include "src/sim/simulator.h"
@@ -148,6 +150,55 @@ void BM_VoteDigestStreaming(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * bytes));
 }
 BENCHMARK(BM_VoteDigestStreaming)->Arg(8000);
+
+// Multi-lane batch hashing: lanes x message-size grid. With 1 lane this is
+// the plain dispatched core; 4/8 lanes show what lock-step batching adds on
+// the active backend (on SHA-NI hardware the lanes run back-to-back through
+// the single-stream unit, on AVX2-only hardware they interleave 8-wide).
+void BM_Sha256Batch(benchmark::State& state) {
+  const size_t lanes = static_cast<size_t>(state.range(0));
+  const size_t message_bytes = static_cast<size_t>(state.range(1));
+  const std::vector<uint8_t> data(message_bytes, 0xab);
+  for (auto _ : state) {
+    torcrypto::Sha256Batch batch;
+    for (size_t i = 0; i < lanes; ++i) {
+      batch.Add(std::span<const uint8_t>(data));
+    }
+    benchmark::DoNotOptimize(batch.Finish());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(lanes * message_bytes));
+  state.SetLabel(torcrypto::Sha256BackendName(torcrypto::ActiveSha256BatchBackend()));
+}
+BENCHMARK(BM_Sha256Batch)
+    ->Args({1, 4096})
+    ->Args({4, 4096})
+    ->Args({8, 4096})
+    ->Args({1, 1 << 20})
+    ->Args({4, 1 << 20})
+    ->Args({8, 1 << 20});
+
+// Tree digest of a full vote document with leaf hashing fanned out over a
+// pool ("sha256-tree-v1", 64 KiB leaves). The serial streaming tree and the
+// pinned-thread-count runs are bit-identical; only throughput differs.
+void BM_TreeVoteDigest(benchmark::State& state) {
+  const auto vote = MakeBenchVote(static_cast<size_t>(state.range(0)));
+  const size_t bytes = tordir::SerializeVote(vote).size();
+  torbase::ThreadPool pool(static_cast<unsigned>(state.range(1)));
+  torbase::ThreadPool* pool_arg = state.range(1) == 0 ? nullptr : &pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tordir::TreeVoteDigest(vote, pool_arg));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * bytes));
+}
+BENCHMARK(BM_TreeVoteDigest)
+    ->ArgNames({"relays", "threads"})
+    ->Args({8000, 0})
+    ->Args({8000, 4})
+    ->Args({64000, 0})
+    ->Args({64000, 4})
+    ->Args({256000, 0})
+    ->Args({256000, 4});
 
 // The flat-merge aggregation hot path; items/s is relays aggregated per
 // second (the `aggregate` row of BENCH_sweep.json tracks the same number at

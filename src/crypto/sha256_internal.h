@@ -1,0 +1,76 @@
+// Internal interface between the SHA-256 translation units: the scalar
+// compression core (sha256.cc), the hardware cores and CPU-feature probes
+// (sha256_simd.cc) and the multi-lane batch hasher (sha256_batch.cc). Not part
+// of the public crypto API — include src/crypto/sha256.h instead.
+#ifndef SRC_CRYPTO_SHA256_INTERNAL_H_
+#define SRC_CRYPTO_SHA256_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// The hardware cores exist on x86-64 with a GCC/Clang-style compiler (they use
+// target attributes, so no global -msha/-mavx2 flags are needed) and are
+// compiled out entirely under -DTORCRYPTO_FORCE_SCALAR=ON — the CI leg that
+// proves the scalar path still carries the whole test suite on its own.
+#if defined(__x86_64__) && !defined(TORCRYPTO_FORCE_SCALAR) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define TORCRYPTO_HAVE_X86_SIMD 1
+#else
+#define TORCRYPTO_HAVE_X86_SIMD 0
+#endif
+
+namespace torcrypto::internal {
+
+// FIPS 180-4 round constants and initial hash value, shared by every core.
+inline constexpr uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+inline constexpr uint32_t kSha256Iv[8] = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+};
+
+// Single-stream compression: absorbs `blocks` consecutive 64-byte blocks at
+// `data` into `state`. Every core computes the identical state transition; the
+// scalar one is the golden reference the others are tested against.
+using ProcessBlocksFn = void (*)(uint32_t state[8], const uint8_t* data, size_t blocks);
+
+void ProcessBlocksScalar(uint32_t state[8], const uint8_t* data, size_t blocks);
+
+// CPU-feature probes; always defined, always false when the hardware cores are
+// compiled out.
+bool CpuHasShaNi();
+bool CpuHasAvx2();
+
+#if TORCRYPTO_HAVE_X86_SIMD
+// x86 SHA extensions: one stream at hardware speed. Call only if CpuHasShaNi().
+void ProcessBlocksShaNi(uint32_t state[8], const uint8_t* data, size_t blocks);
+
+// 8-way AVX2 message-schedule interleaving: eight independent streams advance
+// in lock-step, one 32-bit lane each. All eight pointers must be valid for
+// `blocks` * 64 bytes. Call only if CpuHasAvx2().
+void ProcessBlocks8Avx2(uint32_t* const states[8], const uint8_t* const data[8], size_t blocks);
+#endif
+
+// Absorbs the final partial block (`tail`, `tail_len` < 64 bytes) plus FIPS
+// padding for a stream whose full blocks are already in `state`, and renders
+// the big-endian digest into `out`. Shared by the batch lanes' per-lane
+// finishers.
+void FinishStream(ProcessBlocksFn fn, uint32_t state[8], const uint8_t* tail, size_t tail_len,
+                  uint64_t total_bytes, uint8_t out[32]);
+
+// Best single-stream core the CPU supports; used by Sha256 and the batch
+// hasher's non-lock-step stretches.
+ProcessBlocksFn ResolveProcessBlocks();
+
+}  // namespace torcrypto::internal
+
+#endif  // SRC_CRYPTO_SHA256_INTERNAL_H_

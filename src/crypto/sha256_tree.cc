@@ -1,0 +1,72 @@
+#include "src/crypto/sha256_tree.h"
+
+#include <algorithm>
+
+#include "src/common/thread_pool.h"
+
+namespace torcrypto {
+namespace {
+
+// Folds the leaf digests into the root: H(tag || LE64(total) || leaves).
+std::array<uint8_t, kSha256DigestSize> FoldLeaves(
+    uint64_t total_bytes, std::span<const std::array<uint8_t, kSha256DigestSize>> leaves) {
+  Sha256 root;
+  root.Update(kSha256TreeDomainTag);
+  uint8_t len_le[8];
+  for (int i = 0; i < 8; ++i) {
+    len_le[i] = static_cast<uint8_t>(total_bytes >> (8 * i));
+  }
+  root.Update(std::span<const uint8_t>(len_le, sizeof(len_le)));
+  for (const auto& leaf : leaves) {
+    root.Update(std::span<const uint8_t>(leaf.data(), leaf.size()));
+  }
+  return root.Finish();
+}
+
+}  // namespace
+
+Sha256TreeHasher::Sha256TreeHasher() = default;
+
+void Sha256TreeHasher::Update(std::span<const uint8_t> data) {
+  total_bytes_ += data.size();
+  while (!data.empty()) {
+    const size_t take = std::min(data.size(), kSha256TreeLeafBytes - leaf_fill_);
+    leaf_.Update(data.first(take));
+    leaf_fill_ += take;
+    data = data.subspan(take);
+    if (leaf_fill_ == kSha256TreeLeafBytes) {
+      leaves_.push_back(leaf_.Finish());
+      leaf_.Reset();
+      leaf_fill_ = 0;
+    }
+  }
+}
+
+std::array<uint8_t, kSha256DigestSize> Sha256TreeHasher::Finish() {
+  if (leaf_fill_ > 0) {
+    leaves_.push_back(leaf_.Finish());
+    leaf_.Reset();
+    leaf_fill_ = 0;
+  }
+  return FoldLeaves(total_bytes_, leaves_);
+}
+
+std::array<uint8_t, kSha256DigestSize> Sha256TreeDigest(std::span<const uint8_t> data,
+                                                        torbase::ThreadPool* pool) {
+  const size_t leaf_count = (data.size() + kSha256TreeLeafBytes - 1) / kSha256TreeLeafBytes;
+  std::vector<std::array<uint8_t, kSha256DigestSize>> leaves(leaf_count);
+  const auto hash_leaf = [&](size_t i) {
+    const size_t at = i * kSha256TreeLeafBytes;
+    leaves[i] = Sha256Digest(data.subspan(at, std::min(kSha256TreeLeafBytes, data.size() - at)));
+  };
+  if (pool != nullptr && pool->thread_count() > 1 && leaf_count > 1) {
+    pool->ParallelFor(leaf_count, hash_leaf);
+  } else {
+    for (size_t i = 0; i < leaf_count; ++i) {
+      hash_leaf(i);
+    }
+  }
+  return FoldLeaves(data.size(), leaves);
+}
+
+}  // namespace torcrypto

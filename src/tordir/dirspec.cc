@@ -8,6 +8,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/serialize.h"
+#include "src/crypto/sha256_tree.h"
 
 namespace tordir {
 namespace {
@@ -32,6 +33,11 @@ bool StartsWith(std::string_view text, std::string_view prefix) {
 
 struct DigestSinkBackend {
   torcrypto::Sha256& hash;
+  void Write(const char* data, size_t n) { hash.Update(data, n); }
+};
+
+struct TreeDigestSinkBackend {
+  torcrypto::Sha256TreeHasher& hash;
   void Write(const char* data, size_t n) { hash.Update(data, n); }
 };
 
@@ -913,6 +919,20 @@ torcrypto::Digest256 VoteDigest(const VoteDocument& vote) {
   return torcrypto::Digest256(hash.Finish());
 }
 
+torcrypto::Digest256 TreeVoteDigest(const VoteDocument& vote, torbase::ThreadPool* pool) {
+  if (pool != nullptr) {
+    // Parallel leaves need the whole byte string up front; the serializer runs
+    // at multiple GiB/s, so materializing it is not the bottleneck.
+    return torcrypto::Digest256(torcrypto::Sha256TreeDigest(SerializeVote(vote), pool));
+  }
+  torcrypto::Sha256TreeHasher hash;
+  TreeDigestSinkBackend backend{hash};
+  BufferedTextSink<TreeDigestSinkBackend> sink(backend);
+  WriteVote(sink, vote);
+  sink.Flush();
+  return torcrypto::Digest256(hash.Finish());
+}
+
 std::string SerializeConsensusUnsigned(const ConsensusDocument& consensus) {
   std::string out;
   torbase::StringCursorSink sink(out, EstimateVoteSizeBytes(consensus.relays.size()));
@@ -1034,6 +1054,20 @@ torcrypto::Digest256 ConsensusDigest(const ConsensusDocument& consensus) {
   torcrypto::Sha256 hash;
   DigestSinkBackend backend{hash};
   BufferedTextSink<DigestSinkBackend> sink(backend);
+  WriteConsensusUnsigned(sink, consensus);
+  sink.Flush();
+  return torcrypto::Digest256(hash.Finish());
+}
+
+torcrypto::Digest256 TreeConsensusDigest(const ConsensusDocument& consensus,
+                                         torbase::ThreadPool* pool) {
+  if (pool != nullptr) {
+    return torcrypto::Digest256(
+        torcrypto::Sha256TreeDigest(SerializeConsensusUnsigned(consensus), pool));
+  }
+  torcrypto::Sha256TreeHasher hash;
+  TreeDigestSinkBackend backend{hash};
+  BufferedTextSink<TreeDigestSinkBackend> sink(backend);
   WriteConsensusUnsigned(sink, consensus);
   sink.Flush();
   return torcrypto::Digest256(hash.Finish());

@@ -23,6 +23,10 @@
 #include "src/crypto/digest.h"
 #include "src/tordir/vote.h"
 
+namespace torbase {
+class ThreadPool;
+}  // namespace torbase
+
 namespace tordir {
 
 // --- votes ----------------------------------------------------------------
@@ -43,6 +47,19 @@ torbase::Result<ConsensusDocument> ParseConsensus(const std::string& text);
 
 // Digest of the unsigned consensus body (what signatures cover).
 torcrypto::Digest256 ConsensusDigest(const ConsensusDocument& consensus);
+
+// --- tree digests ----------------------------------------------------------
+// Parallel-friendly counterparts of VoteDigest/ConsensusDigest over the same
+// canonical serialized bytes, using the fixed "sha256-tree-v1" shape
+// (src/crypto/sha256_tree.h). NOT interchangeable with the streaming digests
+// above — tree digests are a distinct domain with their own goldens — and the
+// protocol-visible digests (vote identity, signature subjects) stay on the
+// streaming form. With a pool, leaf hashing fans out over its workers; the
+// result is bit-identical at any thread count (and to pool == nullptr, which
+// streams without materializing the document).
+torcrypto::Digest256 TreeVoteDigest(const VoteDocument& vote, torbase::ThreadPool* pool = nullptr);
+torcrypto::Digest256 TreeConsensusDigest(const ConsensusDocument& consensus,
+                                         torbase::ThreadPool* pool = nullptr);
 
 // Approximate serialized vote size in bytes for `relay_count` relays, without
 // building the document. Used by benches for analytic sanity checks.

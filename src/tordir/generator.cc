@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "src/crypto/sha256.h"
+#include "src/crypto/sha256_batch.h"
 
 namespace tordir {
 namespace {
@@ -44,26 +45,60 @@ void PutU64Le(uint8_t* out, uint64_t v) {
   }
 }
 
-Fingerprint DeriveFingerprint(uint64_t seed, uint64_t index) {
-  constexpr std::string_view kLabel = "relay-fingerprint";
-  std::array<uint8_t, 8 + 8 + 4 + kLabel.size()> message{};
+constexpr std::string_view kFingerprintLabel = "relay-fingerprint";
+using FingerprintMessage = std::array<uint8_t, 8 + 8 + 4 + kFingerprintLabel.size()>;
+
+constexpr std::string_view kMicrodescLabel = "microdesc";
+using MicrodescMessage = std::array<uint8_t, 20 + 4 + kMicrodescLabel.size()>;
+
+FingerprintMessage ComposeFingerprintMessage(uint64_t seed, uint64_t index) {
+  FingerprintMessage message{};
   PutU64Le(message.data(), seed);
   PutU64Le(message.data() + 8, index);
-  message[16] = static_cast<uint8_t>(kLabel.size());  // u32 LE length prefix
-  std::memcpy(message.data() + 20, kLabel.data(), kLabel.size());
-  const auto digest = torcrypto::Sha256Digest(std::span<const uint8_t>(message));
-  Fingerprint fp;
-  std::copy(digest.begin(), digest.begin() + 20, fp.begin());
-  return fp;
+  message[16] = static_cast<uint8_t>(kFingerprintLabel.size());  // u32 LE length prefix
+  std::memcpy(message.data() + 20, kFingerprintLabel.data(), kFingerprintLabel.size());
+  return message;
 }
 
-std::array<uint8_t, 32> DeriveMicrodescDigest(const Fingerprint& fp) {
-  constexpr std::string_view kLabel = "microdesc";
-  std::array<uint8_t, 20 + 4 + kLabel.size()> message{};
+MicrodescMessage ComposeMicrodescMessage(const Fingerprint& fp) {
+  MicrodescMessage message{};
   std::memcpy(message.data(), fp.data(), fp.size());
-  message[20] = static_cast<uint8_t>(kLabel.size());  // u32 LE length prefix
-  std::memcpy(message.data() + 24, kLabel.data(), kLabel.size());
-  return torcrypto::Sha256Digest(std::span<const uint8_t>(message));
+  message[20] = static_cast<uint8_t>(kMicrodescLabel.size());  // u32 LE length prefix
+  std::memcpy(message.data() + 24, kMicrodescLabel.data(), kMicrodescLabel.size());
+  return message;
+}
+
+// Relay identities are pure functions of (seed, index) — the RNG never feeds
+// them — so the whole population's fingerprints and microdescriptor digests
+// derive in two Sha256Batch passes (lock-step hardware lanes) before the
+// RNG-driven loop. Byte-identical to hashing each message individually.
+struct DerivedIdentities {
+  std::vector<Fingerprint> fingerprints;
+  std::vector<std::array<uint8_t, 32>> microdesc_digests;
+};
+
+DerivedIdentities DeriveIdentities(uint64_t seed, size_t relay_count) {
+  DerivedIdentities out;
+  out.fingerprints.resize(relay_count);
+  torcrypto::Sha256Batch batch;
+
+  std::vector<FingerprintMessage> fp_messages(relay_count);
+  for (size_t i = 0; i < relay_count; ++i) {
+    fp_messages[i] = ComposeFingerprintMessage(seed, i);
+    batch.Add(std::span<const uint8_t>(fp_messages[i]));
+  }
+  const auto fp_digests = batch.Finish();
+  for (size_t i = 0; i < relay_count; ++i) {
+    std::copy(fp_digests[i].begin(), fp_digests[i].begin() + 20, out.fingerprints[i].begin());
+  }
+
+  std::vector<MicrodescMessage> md_messages(relay_count);
+  for (size_t i = 0; i < relay_count; ++i) {
+    md_messages[i] = ComposeMicrodescMessage(out.fingerprints[i]);
+    batch.Add(std::span<const uint8_t>(md_messages[i]));
+  }
+  out.microdesc_digests = batch.Finish();
+  return out;
 }
 
 }  // namespace
@@ -72,6 +107,7 @@ std::vector<RelayStatus> GeneratePopulation(const PopulationConfig& config) {
   torbase::Rng rng(config.seed ^ 0x7052656c61795067ull);  // "pRelayPg"
   std::vector<RelayStatus> relays;
   relays.reserve(config.relay_count);
+  const DerivedIdentities identities = DeriveIdentities(config.seed, config.relay_count);
 
   // Intern the shared value pools once per population instead of re-hashing
   // the same strings per relay; nicknames/addresses are unique and interned
@@ -92,8 +128,8 @@ std::vector<RelayStatus> GeneratePopulation(const PopulationConfig& config) {
 
   for (size_t i = 0; i < config.relay_count; ++i) {
     RelayStatus relay;
-    relay.fingerprint = DeriveFingerprint(config.seed, i);
-    relay.microdesc_digest = DeriveMicrodescDigest(relay.fingerprint);
+    relay.fingerprint = identities.fingerprints[i];
+    relay.microdesc_digest = identities.microdesc_digests[i];
     relay.nickname = "relay" + rng.AlphaNumeric(10);
 
     char addr[20];

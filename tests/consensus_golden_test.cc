@@ -40,6 +40,18 @@ const GoldenCase kGoldenCases[] = {
      "c0f56d0cacfbd59bc28dc6205ba86ce0fb72d77d810084bf80985760712affc2"},
 };
 
+// Tree-digest goldens over the same fixtures ("sha256-tree-v1" shape; the
+// construction itself is pinned against an independent implementation in
+// tests/crypto_test.cc, these pin its application to consensus bytes). The
+// streaming goldens above must stay untouched — tree digests are a separate
+// domain, not a replacement.
+const char* const kGoldenTreeDigests[] = {
+    "1720cb82a65cb25a39edeccb1ef2fe1b431b1d14c91c8177a3d7e63f3500cd1f",
+    "0c9c1df8b5ab0637822ced62d81c050b5b915ee2c7379344f4dbec313beda499",
+    "532925a402b53de0af2e173195b0313a65ab7dffc68764eefa7a1abfaad2076c",
+    "cd335db7c2e7427e8c18ab78eac3f7c9bca98d024cdd5b2a351ec979fa36f381",
+};
+
 ConsensusDocument GoldenConsensus(const GoldenCase& c) {
   PopulationConfig config;
   config.relay_count = c.relay_count;
@@ -56,6 +68,14 @@ TEST(ConsensusGoldenTest, DigestsMatchPreRefactorImplementation) {
         << "relays=" << c.relay_count << " seed=" << c.seed;
     EXPECT_EQ(ConsensusDigest(consensus).ToHex(), c.digest_hex)
         << "relays=" << c.relay_count << " seed=" << c.seed;
+  }
+}
+
+TEST(ConsensusGoldenTest, TreeDigestsMatchPinnedRoots) {
+  for (size_t i = 0; i < std::size(kGoldenCases); ++i) {
+    const ConsensusDocument consensus = GoldenConsensus(kGoldenCases[i]);
+    EXPECT_EQ(TreeConsensusDigest(consensus).ToHex(), kGoldenTreeDigests[i])
+        << "relays=" << kGoldenCases[i].relay_count;
   }
 }
 

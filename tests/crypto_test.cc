@@ -5,11 +5,15 @@
 
 #include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/thread_pool.h"
 #include "src/crypto/digest.h"
 #include "src/crypto/hmac.h"
 #include "src/crypto/sha256.h"
+#include "src/crypto/sha256_batch.h"
+#include "src/crypto/sha256_tree.h"
 #include "src/crypto/signature.h"
 
 namespace torcrypto {
@@ -83,6 +87,206 @@ TEST(Sha256Test, PaddingBoundaries) {
       b.Update(std::string_view(&c, 1));
     }
     EXPECT_EQ(a.Finish(), b.Finish()) << "len " << len;
+  }
+}
+
+// Long-message vectors in the NIST long-message style (many blocks, lengths
+// straddling the 64 KiB tree-leaf boundary). Expected digests were produced by
+// an independent SHA-256 implementation (Python hashlib), not by this code.
+std::string PatternMessage(size_t length) {
+  std::string msg(length, '\0');
+  for (size_t i = 0; i < length; ++i) {
+    msg[i] = static_cast<char>((i * 7 + 3) & 0xFF);
+  }
+  return msg;
+}
+
+TEST(Sha256Test, LongMessages) {
+  std::string l640;
+  for (int i = 0; i < 80; ++i) l640 += "01234567";
+  EXPECT_EQ(HashHex(l640), "594847328451bdfa85056225462cc1d867d877fb388df0ce35f25ab5562bfbb5");
+
+  std::string l6400;
+  for (int i = 0; i < 640; ++i) l6400 += "0123456789";
+  EXPECT_EQ(HashHex(l6400), "abc1f6fb6106a253b34353c0122acf3355a2a1d26de96a51d0ac5c70d5b823d3");
+
+  EXPECT_EQ(HashHex(std::string(100000, 'U')),
+            "a8b8158fe9e60f80fd17d6915e86375266fb887dd33fbf408fd98dd4e9b5c463");
+
+  EXPECT_EQ(HashHex(PatternMessage(3 * 65536 + 17)),
+            "1695ce0b52d8faf8912dcfb2b13a287d11bec857415b99ff64adee24de04f4b4");
+}
+
+// Every chunking of a 3-block (192-byte) message: all two-Update splits, all
+// three-Update splits, and every fixed chunk size. Pins the buffered/streaming
+// boundary — exactly what a bulk-block compression refactor can silently
+// break for inputs that arrive in awkward pieces.
+TEST(Sha256Test, EveryChunkingOfThreeBlockMessage) {
+  const std::string msg = PatternMessage(192);
+  const auto expected = Sha256Digest(msg);
+  const std::string_view view(msg);
+
+  for (size_t i = 0; i <= msg.size(); ++i) {
+    for (size_t j = i; j <= msg.size(); ++j) {
+      Sha256 ctx;
+      ctx.Update(view.substr(0, i));
+      ctx.Update(view.substr(i, j - i));
+      ctx.Update(view.substr(j));
+      ASSERT_EQ(ctx.Finish(), expected) << "splits at " << i << "," << j;
+    }
+  }
+  for (size_t chunk = 1; chunk <= msg.size(); ++chunk) {
+    Sha256 ctx;
+    for (size_t at = 0; at < msg.size(); at += chunk) {
+      ctx.Update(view.substr(at, chunk));
+    }
+    ASSERT_EQ(ctx.Finish(), expected) << "chunk size " << chunk;
+  }
+}
+
+// Every core the CPU supports must be byte-identical to scalar on all the
+// boundary-exercising lengths (dispatch must be invisible).
+TEST(Sha256Test, BackendsAreByteIdenticalToScalar) {
+  std::vector<std::string> messages = {"", "abc", PatternMessage(192)};
+  for (size_t len : {1u, 55u, 56u, 63u, 64u, 65u, 127u, 128u, 1000u, 100000u}) {
+    messages.push_back(PatternMessage(len));
+  }
+  for (const Sha256Backend backend : {Sha256Backend::kShaNi, Sha256Backend::kAvx2x8}) {
+    if (!Sha256BackendSupported(backend)) {
+      GTEST_LOG_(INFO) << "skipping unsupported backend " << Sha256BackendName(backend);
+      continue;
+    }
+    for (const auto& msg : messages) {
+      EXPECT_EQ(Sha256DigestForBackend(backend, msg),
+                Sha256DigestForBackend(Sha256Backend::kScalar, msg))
+          << Sha256BackendName(backend) << " len " << msg.size();
+    }
+  }
+}
+
+TEST(Sha256Test, ActiveBackendIsSupported) {
+  EXPECT_TRUE(Sha256BackendSupported(ActiveSha256Backend()));
+  EXPECT_TRUE(Sha256BackendSupported(ActiveSha256BatchBackend()));
+#ifdef TORCRYPTO_FORCE_SCALAR
+  EXPECT_EQ(ActiveSha256Backend(), Sha256Backend::kScalar);
+  EXPECT_EQ(ActiveSha256BatchBackend(), Sha256Backend::kScalar);
+#endif
+}
+
+#if defined(GTEST_HAS_DEATH_TEST) && !defined(NDEBUG)
+TEST(Sha256DeathTest, UpdateAfterFinishAsserts) {
+  Sha256 ctx;
+  ctx.Update(std::string_view("abc"));
+  ctx.Finish();
+  EXPECT_DEATH(ctx.Update(std::string_view("more")), "Finish");
+}
+
+TEST(Sha256DeathTest, DoubleFinishAsserts) {
+  Sha256 ctx;
+  ctx.Update(std::string_view("abc"));
+  ctx.Finish();
+  EXPECT_DEATH(ctx.Finish(), "Finish");
+}
+#endif  // GTEST_HAS_DEATH_TEST && !NDEBUG
+
+// --- Sha256Batch -----------------------------------------------------------
+
+// Lengths around every interesting boundary: empty, sub-block, block-aligned,
+// the batch's 8-lane group size, and lengths forcing unequal per-lane tails.
+std::vector<std::string> BatchMessages() {
+  std::vector<std::string> messages;
+  for (size_t len : {0u, 1u, 3u, 55u, 63u, 64u, 65u, 127u, 128u, 192u, 1000u, 4096u, 10000u}) {
+    messages.push_back(PatternMessage(len));
+  }
+  for (size_t i = 0; i < 9; ++i) {  // spill past one 8-lane group
+    messages.push_back(PatternMessage(100 + i * 37));
+  }
+  return messages;
+}
+
+TEST(Sha256BatchTest, MatchesPerMessageDigests) {
+  const auto messages = BatchMessages();
+  Sha256Batch batch;
+  for (const auto& msg : messages) {
+    batch.Add(std::string_view(msg));
+  }
+  const auto digests = batch.Finish();
+  ASSERT_EQ(digests.size(), messages.size());
+  for (size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_EQ(digests[i], Sha256Digest(messages[i])) << "message " << i;
+  }
+  EXPECT_EQ(batch.size(), 0u);  // Finish clears for reuse
+}
+
+TEST(Sha256BatchTest, AllBackendsMatchScalar) {
+  const auto messages = BatchMessages();
+  for (const Sha256Backend backend :
+       {Sha256Backend::kScalar, Sha256Backend::kShaNi, Sha256Backend::kAvx2x8}) {
+    if (!Sha256BackendSupported(backend)) {
+      GTEST_LOG_(INFO) << "skipping unsupported backend " << Sha256BackendName(backend);
+      continue;
+    }
+    Sha256Batch batch(backend);
+    for (const auto& msg : messages) {
+      batch.Add(std::string_view(msg));
+    }
+    const auto digests = batch.Finish();
+    ASSERT_EQ(digests.size(), messages.size());
+    for (size_t i = 0; i < messages.size(); ++i) {
+      EXPECT_EQ(digests[i], Sha256Digest(messages[i]))
+          << Sha256BackendName(backend) << " message " << i;
+    }
+  }
+}
+
+TEST(Sha256BatchTest, EmptyBatchAndReuse) {
+  Sha256Batch batch;
+  EXPECT_TRUE(batch.Finish().empty());
+  batch.Add(std::string_view("abc"));
+  const auto digests = batch.Finish();
+  ASSERT_EQ(digests.size(), 1u);
+  EXPECT_EQ(HexEncode(digests[0]),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// --- tree digests ----------------------------------------------------------
+
+// Roots for the fixed "sha256-tree-v1" shape, computed by an independent
+// implementation of the documented construction (Python hashlib). These pin
+// the tree's wire definition: leaf size, domain tag, LE64 length, fold order.
+TEST(Sha256TreeTest, GoldenRoots) {
+  EXPECT_EQ(HexEncode(Sha256TreeDigest(std::string_view(""))),
+            "a7f232ba390d03aa4675c687bef1894b5343c61856d8a1346511659c79995c94");
+  EXPECT_EQ(HexEncode(Sha256TreeDigest(std::string_view("abc"))),
+            "913796a3b57b26ec4abe572be5b741e8c5f99a790764668fb1de7828c9ec9d66");
+  EXPECT_EQ(HexEncode(Sha256TreeDigest(std::string_view(PatternMessage(3 * 65536 + 17)))),
+            "5835605122b70e8b370c40e8dda5d93b83c1d16688daff5914bf807303e2f681");
+}
+
+TEST(Sha256TreeTest, TreeRootDiffersFromPlainDigest) {
+  const std::string msg = "abc";
+  EXPECT_NE(Sha256TreeDigest(std::string_view(msg)), Sha256Digest(msg));
+}
+
+TEST(Sha256TreeTest, StreamingMatchesOneShotAtAwkwardChunkings) {
+  const std::string msg = PatternMessage(2 * 65536 + 12345);
+  const auto expected = Sha256TreeDigest(std::string_view(msg));
+  for (size_t chunk : {1u, 7u, 64u, 1000u, 65535u, 65536u, 65537u, 200000u}) {
+    Sha256TreeHasher hasher;
+    for (size_t at = 0; at < msg.size(); at += chunk) {
+      hasher.Update(std::string_view(msg).substr(at, chunk));
+    }
+    ASSERT_EQ(hasher.Finish(), expected) << "chunk " << chunk;
+  }
+}
+
+TEST(Sha256TreeTest, BitIdenticalAcrossThreadCounts) {
+  const std::string msg = PatternMessage(5 * 65536 + 999);
+  const auto serial = Sha256TreeDigest(std::string_view(msg));
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    torbase::ThreadPool pool(threads);
+    EXPECT_EQ(Sha256TreeDigest(std::string_view(msg), &pool), serial)
+        << threads << " threads";
   }
 }
 

@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <random>
 
+#include "src/common/thread_pool.h"
+#include "src/crypto/sha256_tree.h"
 #include "src/tordir/aggregate.h"
 #include "src/tordir/dirspec.h"
 #include "src/tordir/generator.h"
@@ -159,6 +161,63 @@ TEST(DirspecTest, ConsensusDigestIgnoresSignatures) {
   sig.signer = 1;
   consensus.signatures.push_back(sig);
   EXPECT_EQ(ConsensusDigest(consensus), digest_before);
+}
+
+// --- tree digests ----------------------------------------------------------
+// Multi-megabyte documents (8k relays ≈ 3 MB ≈ 50 tree leaves) so the tree
+// paths — streaming sink, materialize-then-parallel, pool fan-out — all cross
+// many leaf boundaries.
+VoteDocument BigGeneratedVote() {
+  PopulationConfig config;
+  config.relay_count = 8000;
+  config.seed = 5;
+  return MakeVote(0, 9, GeneratePopulation(config), config);
+}
+
+TEST(DirspecTest, TreeVoteDigestMatchesTreeOverSerializedBytes) {
+  const VoteDocument vote = BigGeneratedVote();
+  // The streaming tree sink (pool == nullptr) must equal the tree over the
+  // materialized canonical bytes: one definition, two evaluation strategies.
+  EXPECT_EQ(TreeVoteDigest(vote),
+            torcrypto::Digest256(torcrypto::Sha256TreeDigest(SerializeVote(vote))));
+}
+
+TEST(DirspecTest, TreeVoteDigestBitIdenticalAcrossThreadCounts) {
+  const VoteDocument vote = BigGeneratedVote();
+  const auto serial = TreeVoteDigest(vote);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    torbase::ThreadPool pool(threads);
+    EXPECT_EQ(TreeVoteDigest(vote, &pool), serial) << threads << " threads";
+  }
+}
+
+TEST(DirspecTest, TreeVoteDigestIsDistinctDomainAndSensitive) {
+  VoteDocument vote = MakeVoteDoc(0, {MakeRelay(0x11)});
+  // Not interchangeable with the protocol-visible streaming digest.
+  EXPECT_NE(TreeVoteDigest(vote), VoteDigest(vote));
+  const auto before = TreeVoteDigest(vote);
+  vote.relays[0].bandwidth += 1;
+  EXPECT_NE(TreeVoteDigest(vote), before);
+}
+
+TEST(DirspecTest, TreeConsensusDigestIgnoresSignaturesAndParallelizes) {
+  PopulationConfig config;
+  config.relay_count = 2000;
+  config.seed = 7;
+  const auto population = GeneratePopulation(config);
+  ConsensusDocument consensus = ComputeConsensus(MakeAllVotes(5, population, config));
+  const auto unsigned_digest = TreeConsensusDigest(consensus);
+  EXPECT_EQ(unsigned_digest,
+            torcrypto::Digest256(
+                torcrypto::Sha256TreeDigest(SerializeConsensusUnsigned(consensus))));
+
+  torcrypto::Signature sig;
+  sig.signer = 1;
+  consensus.signatures.push_back(sig);
+  EXPECT_EQ(TreeConsensusDigest(consensus), unsigned_digest);
+
+  torbase::ThreadPool pool(4);
+  EXPECT_EQ(TreeConsensusDigest(consensus, &pool), unsigned_digest);
 }
 
 TEST(DirspecTest, ParseRejectsGarbage) {
