@@ -1,0 +1,334 @@
+// Deterministic differential scenario fuzzer: sweeps
+// (protocol x attack x churn x byzantine x seed) as one grid — thousands of
+// cells — and checks every cell against the robustness contract:
+//
+//   * every injected byzantine authority is implicated by at least one
+//     health alert (100% fault detection, evidence- or absence-based);
+//   * ICPS assembles a valid consensus whenever fewer than 1/3 of the
+//     authorities are faulty (byzantine or permanently crashed);
+//   * clean cells (no attack, no churn, no byzantine) succeed alert-free;
+//   * single-behavior clean cells raise the behavior's signature alert kind;
+//   * the parallel sweep (8 threads) is bit-identical to the serial one.
+//
+// Everything is seeded: the same invocation always runs the same cells with
+// the same wire mutations, so a failure reproduces by cell name. `--quick`
+// runs a fixed two-seed block (a few hundred cells) as the CI gate; the full
+// grid (>= 1000 cells) is the local / manual target. Exit status is non-zero
+// on any violation.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/attack/ddos.h"
+#include "src/attack/schedule.h"
+#include "src/common/table.h"
+#include "src/protocols/byzantine.h"
+#include "src/scenario/runner.h"
+
+namespace {
+
+using torproto::ByzantineBehavior;
+using torscenario::ScenarioResult;
+using torscenario::ScenarioSpec;
+
+constexpr uint32_t kAuthorities = 9;
+// ICPS partial-synchrony tolerance at n = 9: strictly fewer than 3 faulty.
+constexpr uint32_t kIcpsTolerance = (kAuthorities - 1) / 3;
+
+struct AttackAxis {
+  const char* name;
+  std::shared_ptr<torattack::AttackSchedule> schedule;  // shared; runner clones
+};
+
+std::vector<AttackAxis> AttackAxes() {
+  std::vector<AttackAxis> axes;
+  axes.push_back({"none", nullptr});
+
+  // The paper's headline: five minutes of flooding on a majority of the
+  // authorities, covering the lock-step vote phase.
+  torattack::AttackWindow window;
+  window.targets = torattack::FirstTargets(5);
+  window.start = 0;
+  window.end = torbase::Minutes(5);
+  window.available_bps = torattack::kUnderAttackBps;
+  axes.push_back({"window5m", std::make_shared<torattack::WindowedAttack>(
+                                  std::vector<torattack::AttackWindow>{window})});
+
+  // Rotating victim set: every authority gets flooded at some point.
+  torattack::RollingAttackConfig rolling;
+  rolling.victim_count = 5;
+  rolling.period = torbase::Minutes(1);
+  rolling.start = 0;
+  rolling.end = torbase::Minutes(4);
+  axes.push_back({"rolling4m", std::make_shared<torattack::RollingAttack>(rolling)});
+  return axes;
+}
+
+struct ChurnAxis {
+  const char* name;
+  std::vector<torscenario::ChurnEvent> events;
+  uint32_t permanent_crashes;  // crashes without a recover event
+};
+
+std::vector<ChurnAxis> ChurnAxes() {
+  using torscenario::ChurnEvent;
+  std::vector<ChurnAxis> axes;
+  axes.push_back({"none", {}, 0});
+  axes.push_back({"blip",
+                  {{/*node=*/7, torbase::Seconds(30), ChurnEvent::Kind::kCrash},
+                   {/*node=*/7, torbase::Minutes(5), ChurnEvent::Kind::kRecover}},
+                  0});
+  axes.push_back({"dead", {{/*node=*/8, 0, ChurnEvent::Kind::kCrash}}, 1});
+  return axes;
+}
+
+struct ByzantineAxis {
+  const char* name;
+  torproto::ByzantineSpec spec;  // mutation_seed overwritten per cell
+};
+
+std::vector<ByzantineAxis> ByzantineAxes() {
+  // Byzantine ids stay clear of the churn nodes (7, 8) so a crashed-and-
+  // silent authority never masks an injected fault. `wire@0` targets the
+  // synchronous protocol's designated Dolev-Strong sender: its mutated list
+  // travels inside the agreed packed vote, exercising the unpack-time
+  // admission path on every honest authority.
+  std::vector<ByzantineAxis> axes;
+  axes.push_back({"none", {}});
+  {
+    ByzantineAxis axis{"equiv@4", {}};
+    axis.spec.behaviors[4] = ByzantineBehavior::kEquivocate;
+    axes.push_back(std::move(axis));
+  }
+  {
+    ByzantineAxis axis{"replay@4", {}};
+    axis.spec.behaviors[4] = ByzantineBehavior::kReplay;
+    axes.push_back(std::move(axis));
+  }
+  {
+    ByzantineAxis axis{"wire@0", {}};
+    axis.spec.behaviors[0] = ByzantineBehavior::kMalformedWire;
+    axes.push_back(std::move(axis));
+  }
+  {
+    ByzantineAxis axis{"inflate@4", {}};
+    axis.spec.behaviors[4] = ByzantineBehavior::kInflateBandwidth;
+    axes.push_back(std::move(axis));
+  }
+  {
+    ByzantineAxis axis{"equiv+replay", {}};
+    axis.spec.behaviors[1] = ByzantineBehavior::kEquivocate;
+    axis.spec.behaviors[4] = ByzantineBehavior::kReplay;
+    axes.push_back(std::move(axis));
+  }
+  {
+    ByzantineAxis axis{"3-faulty", {}};
+    axis.spec.behaviors[1] = ByzantineBehavior::kEquivocate;
+    axis.spec.behaviors[4] = ByzantineBehavior::kReplay;
+    axis.spec.behaviors[5] = ByzantineBehavior::kMalformedWire;
+    axes.push_back(std::move(axis));
+  }
+  return axes;
+}
+
+struct Cell {
+  ScenarioSpec spec;
+  bool clean = false;       // no attack, no churn, no byzantine
+  uint32_t faulty = 0;      // byzantine + permanently crashed authorities
+};
+
+std::vector<Cell> BuildGrid(const std::vector<uint64_t>& seeds) {
+  const auto attacks = AttackAxes();
+  const auto churns = ChurnAxes();
+  const auto byzantines = ByzantineAxes();
+
+  std::vector<Cell> cells;
+  cells.reserve(seeds.size() * 3 * attacks.size() * churns.size() * byzantines.size());
+  for (const uint64_t seed : seeds) {
+    for (const char* protocol : {"current", "synchronous", "icps"}) {
+      for (size_t a = 0; a < attacks.size(); ++a) {
+        for (size_t c = 0; c < churns.size(); ++c) {
+          for (size_t b = 0; b < byzantines.size(); ++b) {
+            Cell cell;
+            ScenarioSpec& spec = cell.spec;
+            spec.protocol = protocol;
+            spec.authority_count = kAuthorities;
+            spec.relay_count = 120;
+            spec.seed = seed;
+            spec.horizon = torbase::Hours(1);
+            spec.attack = attacks[a].schedule;
+            spec.churn = churns[c].events;
+            spec.byzantine = byzantines[b].spec;
+            // Distinct wire mutations per cell, reproducible from the name.
+            spec.byzantine.mutation_seed = seed * 7919 + a * 131 + c * 17 + b;
+            spec.name = std::string(protocol) + "/" + attacks[a].name + "/" + churns[c].name +
+                        "/" + byzantines[b].name + "/s" + std::to_string(seed);
+            cell.clean = a == 0 && c == 0 && b == 0;
+            cell.faulty = static_cast<uint32_t>(spec.byzantine.behaviors.size()) +
+                          churns[c].permanent_crashes;
+            cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+bool AlertImplicates(const tordir::HealthAlert& alert, torbase::NodeId authority) {
+  return std::find(alert.authorities.begin(), alert.authorities.end(), authority) !=
+         alert.authorities.end();
+}
+
+// The signature alert kind each injected behavior must produce in a cell with
+// no attack and no churn (under interference the monitor may only see the
+// absence-based missing-votes evidence instead).
+tordir::HealthAlertKind SignatureAlert(ByzantineBehavior behavior) {
+  switch (behavior) {
+    case ByzantineBehavior::kEquivocate:
+      return tordir::HealthAlertKind::kVoteEquivocation;
+    case ByzantineBehavior::kReplay:
+      return tordir::HealthAlertKind::kReplayedVote;
+    case ByzantineBehavior::kMalformedWire:
+      return tordir::HealthAlertKind::kMalformedVote;
+    case ByzantineBehavior::kInflateBandwidth:
+      return tordir::HealthAlertKind::kBandwidthInflation;
+  }
+  return tordir::HealthAlertKind::kMissingVotes;
+}
+
+struct Violations {
+  uint64_t undetected_faults = 0;
+  uint64_t icps_liveness = 0;
+  uint64_t unclean_clean_cells = 0;
+  uint64_t missing_signature_alerts = 0;
+  uint64_t divergent_cells = 0;
+
+  uint64_t Total() const {
+    return undetected_faults + icps_liveness + unclean_clean_cells + missing_signature_alerts +
+           divergent_cells;
+  }
+};
+
+void CheckCell(const Cell& cell, const ScenarioResult& result, Violations& violations) {
+  const ScenarioSpec& spec = cell.spec;
+
+  if (result.faults_detected != result.byzantine_count) {
+    ++violations.undetected_faults;
+    std::printf("FAIL %-40s detected %u of %u injected faults\n", spec.name.c_str(),
+                result.faults_detected, result.byzantine_count);
+  }
+
+  if (spec.protocol == "icps" && cell.faulty <= kIcpsTolerance && !result.succeeded) {
+    ++violations.icps_liveness;
+    std::printf("FAIL %-40s ICPS not live with %u faulty (tolerance %u)\n", spec.name.c_str(),
+                cell.faulty, kIcpsTolerance);
+  }
+
+  if (cell.clean && (!result.succeeded || !result.health_alerts.empty())) {
+    ++violations.unclean_clean_cells;
+    std::printf("FAIL %-40s clean cell: succeeded=%d alerts=%zu\n", spec.name.c_str(),
+                result.succeeded, result.health_alerts.size());
+  }
+
+  // Quiet single-fault cells must show the behavior's exact alert kind,
+  // implicating exactly the injected authority.
+  if (spec.attack == nullptr && spec.churn.empty() && spec.byzantine.behaviors.size() == 1) {
+    const auto& [byz_id, behavior] = *spec.byzantine.behaviors.begin();
+    const tordir::HealthAlertKind expected = SignatureAlert(behavior);
+    bool found = false;
+    for (const auto& alert : result.health_alerts) {
+      if (alert.kind == expected && AlertImplicates(alert, byz_id)) {
+        found = true;
+      }
+    }
+    if (!found) {
+      ++violations.missing_signature_alerts;
+      std::printf("FAIL %-40s missing %s alert for authority %u\n", spec.name.c_str(),
+                  tordir::HealthAlertName(expected), byz_id);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<uint64_t> seeds =
+      quick ? std::vector<uint64_t>{1, 2} : std::vector<uint64_t>{1, 2, 3, 4, 5, 6};
+  const std::vector<Cell> cells = BuildGrid(seeds);
+  std::printf("=== Deterministic differential scenario fuzz: %zu cells (%s) ===\n\n",
+              cells.size(), quick ? "quick" : "full");
+
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(cells.size());
+  for (const Cell& cell : cells) {
+    specs.push_back(cell.spec);
+  }
+
+  torscenario::ScenarioRunner serial_runner;
+  const std::vector<ScenarioResult> serial = serial_runner.Sweep(specs);
+
+  torscenario::ScenarioRunner parallel_runner;
+  const std::vector<ScenarioResult> parallel =
+      parallel_runner.Sweep(specs, torscenario::SweepOptions{8});
+
+  Violations violations;
+  uint64_t byzantine_cells = 0;
+  uint64_t injected_faults = 0;
+  uint64_t alerts_total = 0;
+  double worst_detection_latency = 0.0;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    CheckCell(cells[i], serial[i], violations);
+    if (!BitIdentical(serial[i], parallel[i])) {
+      ++violations.divergent_cells;
+      std::printf("FAIL %-40s parallel sweep diverged from serial\n",
+                  cells[i].spec.name.c_str());
+    }
+    if (serial[i].byzantine_count > 0) {
+      ++byzantine_cells;
+      injected_faults += serial[i].byzantine_count;
+      if (!std::isnan(serial[i].fault_detection_latency_seconds)) {
+        worst_detection_latency =
+            std::max(worst_detection_latency, serial[i].fault_detection_latency_seconds);
+      }
+    }
+    alerts_total += serial[i].health_alerts.size();
+  }
+
+  torbase::Table table({"Metric", "Value"});
+  table.AddRow({"Cells", torbase::Table::Int(cells.size())});
+  table.AddRow({"Byzantine cells", torbase::Table::Int(byzantine_cells)});
+  table.AddRow({"Injected faults", torbase::Table::Int(injected_faults)});
+  table.AddRow({"Health alerts raised", torbase::Table::Int(alerts_total)});
+  table.AddRow({"Worst detection latency (s)", torbase::Table::Num(worst_detection_latency, 1)});
+  table.AddRow({"Undetected faults", torbase::Table::Int(violations.undetected_faults)});
+  table.AddRow({"ICPS liveness violations", torbase::Table::Int(violations.icps_liveness)});
+  table.AddRow({"Dirty clean cells", torbase::Table::Int(violations.unclean_clean_cells)});
+  table.AddRow(
+      {"Missing signature alerts", torbase::Table::Int(violations.missing_signature_alerts)});
+  table.AddRow({"Serial/parallel divergences", torbase::Table::Int(violations.divergent_cells)});
+  table.Print(std::cout);
+
+  if (violations.Total() > 0) {
+    std::printf("\n%llu violations.\n", static_cast<unsigned long long>(violations.Total()));
+    return 1;
+  }
+  std::printf("\nAll cells clean: every fault detected, ICPS live below 1/3 faulty, "
+              "parallel == serial.\n");
+  return 0;
+}

@@ -19,13 +19,15 @@ constexpr const char* kKindConsensusSig = "CONSENSUS_SIG";
 IcpsAuthority::IcpsAuthority(const IcpsConfig& config, const torcrypto::KeyDirectory* directory,
                              std::shared_ptr<const tordir::VoteDocument> own_vote,
                              std::shared_ptr<const std::string> own_vote_text,
-                             std::shared_ptr<const tordir::VoteCache> vote_cache)
+                             std::shared_ptr<const tordir::VoteCache> vote_cache,
+                             std::shared_ptr<const std::string> second_vote_text)
     : config_(config),
       directory_(directory),
       signer_(directory->SignerFor(own_vote->authority)),
       own_vote_(std::move(own_vote)),
       own_vote_text_(std::move(own_vote_text)),
-      vote_cache_(std::move(vote_cache)) {
+      vote_cache_(std::move(vote_cache)),
+      second_vote_text_(std::move(second_vote_text)) {
   if (own_vote_text_ == nullptr) {
     own_vote_text_ = std::make_shared<const std::string>(tordir::SerializeVote(*own_vote_));
   }
@@ -71,6 +73,33 @@ void IcpsAuthority::Start() {
 void IcpsAuthority::BroadcastDocument() {
   log().Notice(now(), "Disseminating vote document (" + std::to_string(own_vote_text_->size()) +
                           " bytes).");
+  if (second_vote_text_ != nullptr) {
+    // Equivocation: odd peers get a second, correctly signed document. Each
+    // peer's direct copy verifies in isolation; the split only surfaces in
+    // the PROPOSAL cross-check (possibly forcing a ⟂ entry) and in the
+    // health monitor's per-peer digest comparison.
+    const torcrypto::Digest256 second_digest = torcrypto::Digest256::Of(*second_vote_text_);
+    const torcrypto::Signature second_sig = signer_.Sign(EntryPayload(id(), second_digest));
+    const torcrypto::Signature own_sig = documents_.at(id()).sender_sig;
+    for (torbase::NodeId peer = 0; peer < node_count(); ++peer) {
+      if (peer == id()) {
+        continue;
+      }
+      const bool alternate = peer % 2 == 1;
+      const std::string& text = alternate ? *second_vote_text_ : *own_vote_text_;
+      const torcrypto::Digest256& digest = alternate ? second_digest : own_digest_;
+      const torcrypto::Signature& sig = alternate ? second_sig : own_sig;
+      torbase::Writer w;
+      w.Reserve(text.size() + 128);
+      w.WriteU8(kDocument);
+      w.WriteString(text);
+      w.WriteRaw(digest.span());
+      w.WriteU32(sig.signer);
+      w.WriteRaw(sig.bytes);
+      SendTo(peer, kKindDocument, w.TakeBuffer());
+    }
+    return;
+  }
   torbase::Writer w;
   w.Reserve(own_vote_text_->size() + 128);
   w.WriteU8(kDocument);
@@ -139,7 +168,18 @@ void IcpsAuthority::HandleDocument(torbase::NodeId from, torbase::Reader& r) {
     log().Warn(now(), "Bad document signature from " + std::to_string(from));
     return;
   }
-  StoreDocument(from, ShareText(std::move(*text), digest), digest, sig);
+  // Admission: the sender signed these exact bytes, so all reject reasons are
+  // attributable to `from` directly.
+  tordir::VoteAdmission admission =
+      tordir::AdmitVote(vote_cache_, *text, digest, own_vote_->valid_after);
+  if (!admission.status.ok()) {
+    log().Warn(now(), "Rejecting document from " + std::to_string(from) + ": " +
+                          admission.status.ToString());
+    rejected_votes_.push_back(torproto::RejectedVote{from, admission.reason, now()});
+    return;
+  }
+  observed_votes_.push_back(torproto::ObservedVote{from, digest, now(), admission.document});
+  StoreDocument(from, std::move(admission.text), digest, sig);
 }
 
 std::shared_ptr<const std::string> IcpsAuthority::ShareText(std::string text,
@@ -346,9 +386,21 @@ void IcpsAuthority::HandleDocResponse(torbase::NodeId from, torbase::Reader& r) 
   if (sig.signer != *j || !directory_->Verify(EntryPayload(*j, digest), sig)) {
     return;
   }
+  // Same admission as the direct dissemination path: a certified-but-faulty
+  // document (only possible past the fault tolerance) must still not enter
+  // aggregation.
+  tordir::VoteAdmission admission =
+      tordir::AdmitVote(vote_cache_, *text, digest, own_vote_->valid_after);
+  if (!admission.status.ok()) {
+    log().Warn(now(), "Rejecting fetched document for " + std::to_string(*j) + ": " +
+                          admission.status.ToString());
+    rejected_votes_.push_back(torproto::RejectedVote{*j, admission.reason, now()});
+    return;
+  }
+  observed_votes_.push_back(torproto::ObservedVote{*j, digest, now(), admission.document});
   ReceivedDoc doc;
   doc.digest = digest;
-  doc.text = ShareText(std::move(*text), digest);
+  doc.text = std::move(admission.text);
   doc.sender_sig = sig;
   documents_[*j] = std::move(doc);
   pending_fetches_.erase(*j);
@@ -371,19 +423,21 @@ void IcpsAuthority::MaybeFinishAggregation() {
       continue;
     }
     const ReceivedDoc& doc = documents_.at(j);
-    std::shared_ptr<const tordir::VoteDocument> document;
-    if (const tordir::CachedVote* cached = tordir::VoteCache::FindIn(vote_cache_, doc.digest)) {
-      document = cached->document;
-    }
-    if (document == nullptr) {
-      auto parsed = tordir::ParseVote(*doc.text);
-      if (!parsed.ok()) {
-        log().Err(now(), "Agreed document " + std::to_string(j) + " failed to parse.");
-        continue;
+    // Both receive paths already admitted the document, except our own (an
+    // honest authority's by definition, but a byzantine self's stale/mutated
+    // one must not be laundered into the consensus through this spot).
+    tordir::VoteAdmission admission =
+        tordir::AdmitVote(vote_cache_, *doc.text, doc.digest, own_vote_->valid_after);
+    if (!admission.status.ok()) {
+      log().Err(now(), "Agreed document " + std::to_string(j) + " rejected: " +
+                           admission.status.ToString());
+      if (j != id()) {
+        rejected_votes_.push_back(
+            torproto::RejectedVote{j, admission.reason, now()});
       }
-      document = std::make_shared<const tordir::VoteDocument>(std::move(*parsed));
+      continue;
     }
-    votes.push_back(std::move(document));
+    votes.push_back(std::move(admission.document));
   }
   std::vector<const tordir::VoteDocument*> vote_ptrs;
   vote_ptrs.reserve(votes.size());

@@ -83,10 +83,14 @@ class IcpsAuthority : public torsim::Actor {
   // Shared immutable inputs: the authority's own vote document, its
   // serialized form (null = serialize here) and the workload's pre-parsed
   // vote cache (null = parse agreed documents from scratch).
+  // `second_vote_text` enables equivocation (see AuthorityMaterials): when
+  // set, odd peers receive those bytes (with their own digest and sender
+  // signature) in the dissemination broadcast. Null for honest authorities.
   IcpsAuthority(const IcpsConfig& config, const torcrypto::KeyDirectory* directory,
                 std::shared_ptr<const tordir::VoteDocument> own_vote,
                 std::shared_ptr<const std::string> own_vote_text = nullptr,
-                std::shared_ptr<const tordir::VoteCache> vote_cache = nullptr);
+                std::shared_ptr<const tordir::VoteCache> vote_cache = nullptr,
+                std::shared_ptr<const std::string> second_vote_text = nullptr);
 
   // Convenience for tests and drivers that own a plain document.
   IcpsAuthority(const IcpsConfig& config, const torcrypto::KeyDirectory* directory,
@@ -116,6 +120,11 @@ class IcpsAuthority : public torsim::Actor {
     }
     return senders;
   }
+
+  // Admission evidence for the consensus-health monitor: peers' documents
+  // this authority admitted (own excluded) and texts it refused.
+  const std::vector<torproto::ObservedVote>& observed_votes() const { return observed_votes_; }
+  const std::vector<torproto::RejectedVote>& rejected_votes() const { return rejected_votes_; }
 
  private:
   enum MessageType : uint8_t {
@@ -164,7 +173,12 @@ class IcpsAuthority : public torsim::Actor {
   std::shared_ptr<const tordir::VoteDocument> own_vote_;
   std::shared_ptr<const std::string> own_vote_text_;
   std::shared_ptr<const tordir::VoteCache> vote_cache_;
+  std::shared_ptr<const std::string> second_vote_text_;
   torcrypto::Digest256 own_digest_;
+
+  // Admission evidence, in arrival order.
+  std::vector<torproto::ObservedVote> observed_votes_;
+  std::vector<torproto::RejectedVote> rejected_votes_;
 
   // Documents received: sender -> (digest, text). First valid one wins; a
   // second, different digest from the same sender is kept as equivocation

@@ -4,13 +4,16 @@
 #define SRC_PROTOCOLS_COMMON_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/common/ids.h"
 #include "src/common/time.h"
+#include "src/crypto/digest.h"
 #include "src/crypto/signature.h"
+#include "src/tordir/admission.h"
 #include "src/tordir/aggregate.h"
 #include "src/tordir/vote.h"
 
@@ -82,6 +85,27 @@ struct RunResult {
     }
     return count;
   }
+};
+
+// One vote another authority's actor *admitted* during the run: who sent it,
+// the digest of its canonical bytes, when it first arrived, and the parsed
+// document (shared, immutable — for evidence like bandwidth totals computed
+// lazily at probe time). Authorities record these for the health monitor;
+// their own vote is excluded.
+struct ObservedVote {
+  NodeId sender = torbase::kNoNode;
+  torcrypto::Digest256 digest;
+  TimePoint at = torbase::kTimeNever;
+  std::shared_ptr<const tordir::VoteDocument> document;
+};
+
+// One vote text an authority refused at admission (src/tordir/admission.h),
+// attributed to `sender` when attribution is sound: the direct wire sender
+// for malformed bytes, the document's own author for stale windows.
+struct RejectedVote {
+  NodeId sender = torbase::kNoNode;
+  tordir::VoteRejectReason reason = tordir::VoteRejectReason::kMalformed;
+  TimePoint at = torbase::kTimeNever;
 };
 
 // Renders "100.0.0.<id+1>:8080", the Shadow-style authority addresses used in

@@ -19,13 +19,15 @@ CurrentAuthority::CurrentAuthority(const ProtocolConfig& config,
                                    const torcrypto::KeyDirectory* directory,
                                    std::shared_ptr<const tordir::VoteDocument> own_vote,
                                    std::shared_ptr<const std::string> own_vote_text,
-                                   std::shared_ptr<const tordir::VoteCache> vote_cache)
+                                   std::shared_ptr<const tordir::VoteCache> vote_cache,
+                                   std::shared_ptr<const std::string> second_vote_text)
     : config_(config),
       directory_(directory),
       signer_(directory->SignerFor(own_vote->authority)),
       own_vote_(std::move(own_vote)),
       own_vote_text_(std::move(own_vote_text)),
-      vote_cache_(std::move(vote_cache)) {
+      vote_cache_(std::move(vote_cache)),
+      second_vote_text_(std::move(second_vote_text)) {
   if (own_vote_text_ == nullptr) {
     own_vote_text_ = std::make_shared<const std::string>(tordir::SerializeVote(*own_vote_));
   }
@@ -54,6 +56,24 @@ void CurrentAuthority::Start() {
 
 void CurrentAuthority::BeginVoteRound() {
   log().Notice(now(), "Time to vote.");
+  if (second_vote_text_ != nullptr) {
+    // Equivocation: odd peers get the second variant. Each peer still sees a
+    // single self-consistent vote; only cross-observer digest comparison (the
+    // health monitor) exposes the split.
+    for (NodeId peer = 0; peer < node_count(); ++peer) {
+      if (peer == id()) {
+        continue;
+      }
+      const std::string& text = peer % 2 == 1 ? *second_vote_text_ : *own_vote_text_;
+      torbase::Writer w;
+      w.Reserve(text.size() + 32);
+      w.WriteU8(kVotePost);
+      w.WriteU64(now());  // posted_at
+      w.WriteString(text);
+      SendTo(peer, kKindVote, w.TakeBuffer());
+    }
+    return;
+  }
   torbase::Writer w;
   w.Reserve(own_vote_text_->size() + 32);
   w.WriteU8(kVotePost);
@@ -223,7 +243,7 @@ void CurrentAuthority::HandleVotePost(NodeId from, torbase::Reader& reader) {
     log().Info(now(), "Discarding stale vote transfer from " + AuthorityAddress(from));
     return;
   }
-  AcceptVote(*text);
+  AcceptVote(from, *text);
 }
 
 void CurrentAuthority::HandleVoteRequest(NodeId from, torbase::Reader& reader) {
@@ -274,37 +294,42 @@ void CurrentAuthority::HandleVoteResponse(NodeId, torbase::Reader& reader) {
       return;
     }
     if (on_time) {
-      AcceptVote(*text);
+      // Relayed text: the wire sender is an honest middleman, not the author,
+      // so malformed bytes are unattributable here.
+      AcceptVote(std::nullopt, *text);
     }
   }
 }
 
-void CurrentAuthority::AcceptVote(const std::string& text) {
-  // Hash first: a digest hit in the workload cache proves the bytes are a
-  // canonical vote we already hold parsed, so ParseVote (and a private copy
-  // of the multi-megabyte text) can be skipped entirely. Byte-equal texts
-  // parse to identical documents, so behaviour is unchanged.
-  std::shared_ptr<const tordir::VoteDocument> document;
-  std::shared_ptr<const std::string> text_ptr;
-  if (const tordir::CachedVote* cached = tordir::VoteCache::FindIn(vote_cache_, text)) {
-    document = cached->document;
-    text_ptr = cached->text;
-  }
-  if (document == nullptr) {
-    auto parsed = tordir::ParseVote(text);
-    if (!parsed.ok()) {
-      log().Warn(now(), "Rejecting unparseable vote: " + parsed.status().ToString());
-      return;
+void CurrentAuthority::AcceptVote(std::optional<NodeId> direct_from, const std::string& text) {
+  // Admission hashes first: a digest hit in the workload cache proves the
+  // bytes are a canonical vote we already hold parsed, so ParseVote (and a
+  // private copy of the multi-megabyte text) is skipped entirely. Misses are
+  // parsed, canonicality-checked and validity-window-checked.
+  tordir::VoteAdmission admission =
+      tordir::AdmitVote(vote_cache_, text, own_vote_->valid_after);
+  if (!admission.status.ok()) {
+    log().Warn(now(), "Rejecting unparseable vote: " + admission.status.ToString());
+    // Stale votes are canonical, so their own author line attributes them;
+    // malformed bytes can only be pinned on a direct wire sender.
+    const NodeId culprit = admission.reason == tordir::VoteRejectReason::kStaleWindow
+                               ? admission.author
+                               : direct_from.value_or(torbase::kNoNode);
+    if (culprit != torbase::kNoNode) {
+      rejected_votes_.push_back(RejectedVote{culprit, admission.reason, now()});
     }
-    document = std::make_shared<const tordir::VoteDocument>(std::move(*parsed));
-    text_ptr = std::make_shared<const std::string>(text);
+    return;
   }
-  const NodeId authority = document->authority;
+  const NodeId authority = admission.document->authority;
   if (authority >= node_count() || votes_.count(authority) > 0) {
     return;  // out of range or duplicate
   }
-  votes_.emplace(authority, std::move(document));
-  vote_texts_.emplace(authority, std::move(text_ptr));
+  if (authority != id()) {
+    observed_votes_.push_back(
+        ObservedVote{authority, admission.digest, now(), admission.document});
+  }
+  votes_.emplace(authority, std::move(admission.document));
+  vote_texts_.emplace(authority, std::move(admission.text));
   outstanding_vote_fetches_.erase(authority);
   MaybeRecordVoteCompletion();
 }

@@ -39,10 +39,14 @@ class CurrentAuthority : public torsim::Actor {
   // serialize here) and `vote_cache` the workload's digest-keyed pre-parsed
   // votes (null = parse received votes from scratch). The scenario runner
   // shares one set of documents across every cell and run.
+  // `second_vote_text` enables equivocation (see AuthorityMaterials): when
+  // set, odd peers receive those bytes in the vote round instead of
+  // `own_vote_text`. Null for honest authorities.
   CurrentAuthority(const ProtocolConfig& config, const torcrypto::KeyDirectory* directory,
                    std::shared_ptr<const tordir::VoteDocument> own_vote,
                    std::shared_ptr<const std::string> own_vote_text = nullptr,
-                   std::shared_ptr<const tordir::VoteCache> vote_cache = nullptr);
+                   std::shared_ptr<const tordir::VoteCache> vote_cache = nullptr,
+                   std::shared_ptr<const std::string> second_vote_text = nullptr);
 
   // Convenience for tests and drivers that own a plain document.
   CurrentAuthority(const ProtocolConfig& config, const torcrypto::KeyDirectory* directory,
@@ -71,6 +75,11 @@ class CurrentAuthority : public torsim::Actor {
     return senders;
   }
 
+  // Admission evidence for the consensus-health monitor: peers' votes this
+  // authority admitted (own vote excluded) and texts it refused.
+  const std::vector<ObservedVote>& observed_votes() const { return observed_votes_; }
+  const std::vector<RejectedVote>& rejected_votes() const { return rejected_votes_; }
+
  private:
   enum MessageType : uint8_t {
     kVotePost = 1,
@@ -94,8 +103,11 @@ class CurrentAuthority : public torsim::Actor {
   void HandleSigRequest(NodeId from, torbase::Reader& reader);
   void HandleSigResponse(NodeId from, torbase::Reader& reader);
 
-  // Stores a serialized vote if it parses, is new and names a valid authority.
-  void AcceptVote(const std::string& text);
+  // Runs `text` through vote admission (src/tordir/admission.h) and stores it
+  // if admitted, new and in range. `direct_from` is the wire sender when the
+  // text arrived as a direct post (malformed bytes are attributed to it);
+  // nullopt for relayed fetch responses.
+  void AcceptVote(std::optional<NodeId> direct_from, const std::string& text);
   void AcceptSignature(const torcrypto::Signature& sig);
   void MaybeRecordVoteCompletion();
 
@@ -105,6 +117,11 @@ class CurrentAuthority : public torsim::Actor {
   std::shared_ptr<const tordir::VoteDocument> own_vote_;
   std::shared_ptr<const std::string> own_vote_text_;
   std::shared_ptr<const tordir::VoteCache> vote_cache_;
+  std::shared_ptr<const std::string> second_vote_text_;
+
+  // Admission evidence, in arrival order.
+  std::vector<ObservedVote> observed_votes_;
+  std::vector<RejectedVote> rejected_votes_;
 
   // Votes received (and their serialized form, for re-serving fetches). The
   // documents are shared with the workload cache whenever the received bytes

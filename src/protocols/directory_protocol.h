@@ -17,6 +17,7 @@
 #include "src/common/ids.h"
 #include "src/common/time.h"
 #include "src/crypto/signature.h"
+#include "src/protocols/common.h"
 #include "src/sim/actor.h"
 #include "src/tordir/vote.h"
 
@@ -76,6 +77,11 @@ struct AuthorityMaterials {
   std::shared_ptr<const tordir::VoteDocument> vote;
   std::shared_ptr<const std::string> vote_text;
   std::shared_ptr<const tordir::VoteCache> vote_cache;
+  // When set, the authority *equivocates*: odd-numbered peers receive these
+  // bytes in the initial vote broadcast instead of `vote_text`. Null for
+  // honest authorities; populated only by the byzantine wrapper layer
+  // (src/protocols/byzantine.h).
+  std::shared_ptr<const std::string> second_vote_text;
 
   // Convenience for tests and drivers that own a plain document.
   static AuthorityMaterials Own(tordir::VoteDocument vote, std::string vote_text = {});
@@ -114,6 +120,22 @@ class DirectoryProtocol {
   // The consensus-health monitor ingests this to detect the §4 missing-votes
   // DDoS signature. Empty for protocols that do not expose it.
   virtual std::vector<torbase::NodeId> ProbeVoteSenders(const torsim::Actor& actor) const {
+    (void)actor;
+    return {};
+  }
+
+  // Every vote `actor` admitted from a peer during the run, with arrival
+  // times and shared parsed documents. Supersedes ProbeVoteSenders as the
+  // health monitor's feed (per-observer digests are what expose
+  // equivocation); empty for protocols that do not track it, in which case
+  // the monitor falls back to ProbeVoteSenders.
+  virtual std::vector<ObservedVote> ProbeVoteObservations(const torsim::Actor& actor) const {
+    (void)actor;
+    return {};
+  }
+
+  // Every vote text `actor` refused at admission during the run.
+  virtual std::vector<RejectedVote> ProbeVoteRejects(const torsim::Actor& actor) const {
     (void)actor;
     return {};
   }

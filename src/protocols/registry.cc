@@ -28,7 +28,8 @@ class CurrentProtocol : public DirectoryProtocol {
     proto_config.authority_count = config.authority_count;
     return std::make_unique<CurrentAuthority>(proto_config, directory, std::move(materials.vote),
                                               std::move(materials.vote_text),
-                                              std::move(materials.vote_cache));
+                                              std::move(materials.vote_cache),
+                                              std::move(materials.second_vote_text));
   }
 
   UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const override {
@@ -63,6 +64,14 @@ class CurrentProtocol : public DirectoryProtocol {
   std::vector<torbase::NodeId> ProbeVoteSenders(const torsim::Actor& actor) const override {
     return static_cast<const CurrentAuthority&>(actor).vote_senders();
   }
+
+  std::vector<ObservedVote> ProbeVoteObservations(const torsim::Actor& actor) const override {
+    return static_cast<const CurrentAuthority&>(actor).observed_votes();
+  }
+
+  std::vector<RejectedVote> ProbeVoteRejects(const torsim::Actor& actor) const override {
+    return static_cast<const CurrentAuthority&>(actor).rejected_votes();
+  }
 };
 
 // Luo et al.'s synchronous fix (src/protocols/sync).
@@ -79,7 +88,8 @@ class SynchronousProtocol : public DirectoryProtocol {
     proto_config.authority_count = config.authority_count;
     return std::make_unique<SyncAuthority>(proto_config, directory, std::move(materials.vote),
                                            std::move(materials.vote_text),
-                                           std::move(materials.vote_cache));
+                                           std::move(materials.vote_cache),
+                                           std::move(materials.second_vote_text));
   }
 
   UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const override {
@@ -113,6 +123,14 @@ class SynchronousProtocol : public DirectoryProtocol {
   std::vector<torbase::NodeId> ProbeVoteSenders(const torsim::Actor& actor) const override {
     return static_cast<const SyncAuthority&>(actor).vote_senders();
   }
+
+  std::vector<ObservedVote> ProbeVoteObservations(const torsim::Actor& actor) const override {
+    return static_cast<const SyncAuthority&>(actor).observed_votes();
+  }
+
+  std::vector<RejectedVote> ProbeVoteRejects(const torsim::Actor& actor) const override {
+    return static_cast<const SyncAuthority&>(actor).rejected_votes();
+  }
 };
 
 // The paper's ICPS protocol (src/core).
@@ -132,7 +150,8 @@ class IcpsProtocol : public DirectoryProtocol {
     return std::make_unique<toricc::IcpsAuthority>(icps_config, directory,
                                                    std::move(materials.vote),
                                                    std::move(materials.vote_text),
-                                                   std::move(materials.vote_cache));
+                                                   std::move(materials.vote_cache),
+                                                   std::move(materials.second_vote_text));
   }
 
   UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const override {
@@ -161,6 +180,14 @@ class IcpsProtocol : public DirectoryProtocol {
 
   std::vector<torbase::NodeId> ProbeVoteSenders(const torsim::Actor& actor) const override {
     return static_cast<const toricc::IcpsAuthority&>(actor).vote_senders();
+  }
+
+  std::vector<ObservedVote> ProbeVoteObservations(const torsim::Actor& actor) const override {
+    return static_cast<const toricc::IcpsAuthority&>(actor).observed_votes();
+  }
+
+  std::vector<RejectedVote> ProbeVoteRejects(const torsim::Actor& actor) const override {
+    return static_cast<const toricc::IcpsAuthority&>(actor).rejected_votes();
   }
 
   std::optional<std::pair<uint64_t, torbase::NodeId>> AgreementView(

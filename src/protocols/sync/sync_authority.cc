@@ -19,13 +19,15 @@ SyncAuthority::SyncAuthority(const ProtocolConfig& config,
                              const torcrypto::KeyDirectory* directory,
                              std::shared_ptr<const tordir::VoteDocument> own_vote,
                              std::shared_ptr<const std::string> own_vote_text,
-                             std::shared_ptr<const tordir::VoteCache> vote_cache)
+                             std::shared_ptr<const tordir::VoteCache> vote_cache,
+                             std::shared_ptr<const std::string> second_vote_text)
     : config_(config),
       directory_(directory),
       signer_(directory->SignerFor(own_vote->authority)),
       own_vote_(std::move(own_vote)),
       own_vote_text_(std::move(own_vote_text)),
-      vote_cache_(std::move(vote_cache)) {
+      vote_cache_(std::move(vote_cache)),
+      second_vote_text_(std::move(second_vote_text)) {
   if (own_vote_text_ == nullptr) {
     own_vote_text_ = std::make_shared<const std::string>(tordir::SerializeVote(*own_vote_));
   }
@@ -55,6 +57,21 @@ void SyncAuthority::Start() {
 
 void SyncAuthority::BeginProposePhase() {
   log().Notice(now(), "Propose round: sending relay list.");
+  if (second_vote_text_ != nullptr) {
+    // Equivocation: odd peers get the second variant (see CurrentAuthority).
+    for (NodeId peer = 0; peer < node_count(); ++peer) {
+      if (peer == id()) {
+        continue;
+      }
+      const std::string& text = peer % 2 == 1 ? *second_vote_text_ : *own_vote_text_;
+      torbase::Writer w;
+      w.Reserve(text.size() + 16);
+      w.WriteU8(kProposePost);
+      w.WriteString(text);
+      SendTo(peer, kKindPropose, w.TakeBuffer());
+    }
+    return;
+  }
   torbase::Writer w;
   w.Reserve(own_vote_text_->size() + 16);
   w.WriteU8(kProposePost);
@@ -75,13 +92,25 @@ void SyncAuthority::HandleProposePost(NodeId from, torbase::Reader& r) {
   if (lists_.count(from) > 0) {
     return;
   }
-  // Share the workload's canonical text on a digest match instead of
-  // retaining a private multi-megabyte copy per peer.
-  if (const tordir::CachedVote* cached = tordir::VoteCache::FindIn(vote_cache_, *text)) {
-    lists_[from] = cached->text;
-  } else {
-    lists_[from] = std::make_shared<const std::string>(std::move(*text));
+  // Admission shares the workload's canonical text on a digest match instead
+  // of retaining a private multi-megabyte copy per peer; misses are parsed,
+  // canonicality-checked and validity-window-checked before the list may
+  // enter a packed vote.
+  tordir::VoteAdmission admission =
+      tordir::AdmitVote(vote_cache_, *text, own_vote_->valid_after);
+  if (!admission.status.ok()) {
+    log().Warn(now(), "Rejecting relay list from " + std::to_string(from) + ": " +
+                          admission.status.ToString());
+    rejected_votes_.push_back(RejectedVote{from, admission.reason, now()});
+    return;
   }
+  if (admission.document->authority != from) {
+    log().Warn(now(), "Relay list from " + std::to_string(from) +
+                          " claims another author; ignored.");
+    return;
+  }
+  observed_votes_.push_back(ObservedVote{from, admission.digest, now(), admission.document});
+  lists_[from] = std::move(admission.text);
   if (lists_.size() == node_count() &&
       outcome_.all_lists_received_at == torbase::kTimeNever) {
     outcome_.all_lists_received_at = now();
@@ -267,22 +296,28 @@ void SyncAuthority::BeginSignaturePhase() {
     if (!author.ok() || !text.ok()) {
       return;
     }
-    // Agreed lists are the authorities' canonical vote bytes, so the workload
-    // cache almost always spares us the ParseVote; a miss (mutated or
-    // adversarial list) parses as before.
-    std::shared_ptr<const tordir::VoteDocument> document;
-    if (const tordir::CachedVote* cached = tordir::VoteCache::FindIn(vote_cache_, *text)) {
-      document = cached->document;
-    }
-    if (document == nullptr) {
-      auto parsed = tordir::ParseVote(*text);
-      if (!parsed.ok()) {
-        continue;
+    // Agreed lists are usually the authorities' canonical vote bytes, so the
+    // workload cache spares us the ParseVote. The packed vote may still carry
+    // a faulty list — the packer's *own* (everything else it packed already
+    // passed its propose-time admission) — so unpacking re-admits each entry
+    // and drops (and records) what fails. The author tag is sound for
+    // attribution here: only the packer itself can smuggle its own bytes in
+    // under its own tag.
+    tordir::VoteAdmission admission =
+        tordir::AdmitVote(vote_cache_, *text, own_vote_->valid_after);
+    if (!admission.status.ok()) {
+      log().Warn(now(), "Agreed vote carries a rejected list from " +
+                            std::to_string(*author) + ": " + admission.status.ToString());
+      const NodeId culprit = admission.reason == tordir::VoteRejectReason::kStaleWindow
+                                 ? admission.author
+                                 : *author;
+      if (culprit < node_count()) {
+        rejected_votes_.push_back(RejectedVote{culprit, admission.reason, now()});
       }
-      document = std::make_shared<const tordir::VoteDocument>(std::move(*parsed));
+      continue;
     }
-    if (document->authority == *author) {
-      votes.push_back(std::move(document));
+    if (admission.document->authority == *author) {
+      votes.push_back(std::move(admission.document));
     }
   }
   outcome_.lists_in_agreed_vote = static_cast<uint32_t>(votes.size());

@@ -59,10 +59,14 @@ class SyncAuthority : public torsim::Actor {
   // Shared immutable inputs: the authority's own vote document, its
   // serialized form (null = serialize here) and the workload's pre-parsed
   // vote cache (null = parse agreed lists from scratch).
+  // `second_vote_text` enables equivocation (see AuthorityMaterials): when
+  // set, odd peers receive those bytes in the propose round instead of
+  // `own_vote_text`. Null for honest authorities.
   SyncAuthority(const ProtocolConfig& config, const torcrypto::KeyDirectory* directory,
                 std::shared_ptr<const tordir::VoteDocument> own_vote,
                 std::shared_ptr<const std::string> own_vote_text = nullptr,
-                std::shared_ptr<const tordir::VoteCache> vote_cache = nullptr);
+                std::shared_ptr<const tordir::VoteCache> vote_cache = nullptr,
+                std::shared_ptr<const std::string> second_vote_text = nullptr);
 
   // Convenience for tests and drivers that own a plain document.
   SyncAuthority(const ProtocolConfig& config, const torcrypto::KeyDirectory* directory,
@@ -90,6 +94,12 @@ class SyncAuthority : public torsim::Actor {
     }
     return senders;
   }
+
+  // Admission evidence for the consensus-health monitor: peers' relay lists
+  // this authority admitted (own excluded) and texts it refused — at propose
+  // time or while unpacking the agreed packed vote.
+  const std::vector<ObservedVote>& observed_votes() const { return observed_votes_; }
+  const std::vector<RejectedVote>& rejected_votes() const { return rejected_votes_; }
 
   // The designated Dolev-Strong sender.
   static constexpr NodeId kDesignatedSender = 0;
@@ -125,6 +135,11 @@ class SyncAuthority : public torsim::Actor {
   std::shared_ptr<const tordir::VoteDocument> own_vote_;
   std::shared_ptr<const std::string> own_vote_text_;
   std::shared_ptr<const tordir::VoteCache> vote_cache_;
+  std::shared_ptr<const std::string> second_vote_text_;
+
+  // Admission evidence, in arrival order.
+  std::vector<ObservedVote> observed_votes_;
+  std::vector<RejectedVote> rejected_votes_;
 
   // Phase 1 state: relay lists by author, shared with the workload text when
   // the received bytes match a canonical vote.

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <optional>
+#include <set>
 #include <utility>
 
 #include "src/clients/population.h"
 #include "src/common/thread_pool.h"
 #include "src/crypto/sha256_batch.h"
+#include "src/protocols/byzantine.h"
 #include "src/protocols/directory_protocol.h"
 #include "src/tordir/dirspec.h"
 #include "src/tordir/health_monitor.h"
@@ -32,10 +34,34 @@ void AnalyzeHealth(const ScenarioSpec& spec, const torproto::DirectoryProtocol& 
                    ScenarioResult& result) {
   tordir::HealthMonitor monitor(spec.authority_count);
   for (const torsim::Actor* actor : actors) {
-    for (const torbase::NodeId sender : protocol.ProbeVoteSenders(*actor)) {
-      if (sender < vote_digests.size()) {
-        monitor.RecordVote(actor->id(), sender, vote_digests[sender]);
+    const std::vector<torproto::ObservedVote> observations =
+        protocol.ProbeVoteObservations(*actor);
+    if (observations.empty()) {
+      // Protocols without admission probes (downstream registrations) fall
+      // back to the sender list, paired with the canonical workload digests.
+      for (const torbase::NodeId sender : protocol.ProbeVoteSenders(*actor)) {
+        if (sender < vote_digests.size()) {
+          monitor.RecordVote(actor->id(), sender, vote_digests[sender]);
+        }
       }
+    }
+    // Per-observer evidence: each actor reports the digest *it* admitted, so
+    // an equivocating sender shows up as two digests across observers.
+    for (const torproto::ObservedVote& observed : observations) {
+      tordir::VoteObservation record;
+      record.sender = observed.sender;
+      record.digest = observed.digest;
+      record.at_seconds = torbase::ToSeconds(observed.at);
+      if (observed.document != nullptr) {
+        for (const tordir::RelayStatus& relay : observed.document->relays) {
+          record.total_bandwidth += relay.bandwidth;
+        }
+      }
+      monitor.RecordObservation(actor->id(), record);
+    }
+    for (const torproto::RejectedVote& rejected : protocol.ProbeVoteRejects(*actor)) {
+      monitor.RecordReject(actor->id(), rejected.sender, rejected.reason,
+                           torbase::ToSeconds(rejected.at));
     }
   }
   for (const torsim::Actor* actor : actors) {
@@ -52,6 +78,38 @@ void AnalyzeHealth(const ScenarioSpec& spec, const torproto::DirectoryProtocol& 
     }
   }
   result.health_alerts = monitor.Analyze();
+}
+
+// Distills the run's alerts into the fault-detection metrics the fuzzer
+// asserts on: how many injected byzantine authorities at least one alert
+// implicates, and when the monitor had seen evidence of all of them.
+void ComputeFaultMetrics(const ScenarioSpec& spec, ScenarioResult& result) {
+  for (const auto& [node, behavior] : spec.byzantine.behaviors) {
+    if (node < spec.authority_count) {
+      ++result.byzantine_count;
+    }
+  }
+  if (!spec.monitor_health || result.byzantine_count == 0) {
+    return;
+  }
+  std::set<torbase::NodeId> implicated;
+  double latest = std::numeric_limits<double>::quiet_NaN();
+  for (const tordir::HealthAlert& alert : result.health_alerts) {
+    for (const torbase::NodeId authority : alert.authorities) {
+      if (authority >= spec.authority_count ||
+          spec.byzantine.behaviors.find(authority) == spec.byzantine.behaviors.end()) {
+        continue;
+      }
+      implicated.insert(authority);
+      // Max over timestamped evidence; absence-based alerts (-1.0) support
+      // detection but carry no instant.
+      if (alert.first_evidence_seconds >= 0.0 && !(latest >= alert.first_evidence_seconds)) {
+        latest = alert.first_evidence_seconds;
+      }
+    }
+  }
+  result.faults_detected = static_cast<uint32_t>(implicated.size());
+  result.fault_detection_latency_seconds = latest;
 }
 
 // Runs the consumption plane: converts the run's publish timeline into the
@@ -188,7 +246,18 @@ ScenarioResult ScenarioRunner::Run(const ScenarioSpec& spec, const InspectFn& in
 
 ScenarioResult ScenarioRunner::RunWithWorkload(const ScenarioSpec& spec, const Workload& workload,
                                                const InspectFn& inspect) const {
-  const torproto::DirectoryProtocol& protocol = torproto::GetProtocol(spec.protocol);
+  const torproto::DirectoryProtocol& base_protocol = torproto::GetProtocol(spec.protocol);
+  // Byzantine cells wrap the registered protocol in the faulty-materials
+  // layer; honest cells run it directly. The wrapper only substitutes each
+  // faulty authority's AuthorityMaterials — probes and everything else
+  // delegate, so the rest of this function is protocol-agnostic.
+  std::optional<torproto::ByzantineProtocol> byzantine;
+  if (!spec.byzantine.empty()) {
+    byzantine.emplace(&base_protocol, &spec.byzantine);
+  }
+  const torproto::DirectoryProtocol& protocol = byzantine.has_value()
+                                                    ? static_cast<const torproto::DirectoryProtocol&>(*byzantine)
+                                                    : base_protocol;
 
   torcrypto::KeyDirectory directory(kKeyDirectorySeed, spec.authority_count);
 
@@ -215,7 +284,7 @@ ScenarioResult ScenarioRunner::RunWithWorkload(const ScenarioSpec& spec, const W
     actors.push_back(harness.AddActor(protocol.MakeAuthority(
         run_config, &directory, a,
         torproto::AuthorityMaterials{workload.votes[a], workload.vote_texts[a],
-                                     workload.vote_cache})));
+                                     workload.vote_cache, nullptr})));
   }
 
   torattack::AttackContext attack_context;
@@ -298,6 +367,7 @@ ScenarioResult ScenarioRunner::RunWithWorkload(const ScenarioSpec& spec, const W
   if (spec.monitor_health) {
     AnalyzeHealth(spec, protocol, actors, workload.vote_digests, result);
   }
+  ComputeFaultMetrics(spec, result);
   if (spec.client_load.client_count > 0) {
     AnalyzeClientLoad(spec, published,
                       workload.vote_texts.empty() ? 0 : workload.vote_texts[0]->size(), result);

@@ -19,6 +19,7 @@
 #include "src/clients/population.h"
 #include "src/common/ids.h"
 #include "src/common/time.h"
+#include "src/protocols/byzantine.h"
 #include "src/tordir/health_monitor.h"
 
 namespace torscenario {
@@ -82,6 +83,12 @@ struct ScenarioSpec {
   // tordir::HealthMonitor and surface the alerts in the result. Post-run
   // analysis only; never perturbs the simulation.
   bool monitor_health = true;
+
+  // Per-authority byzantine behaviors (empty = all honest). Implemented as a
+  // faulty-materials wrapper around the spec's protocol
+  // (torproto::ByzantineProtocol), so it composes with any registered
+  // protocol, any attack schedule, and churn.
+  torproto::ByzantineSpec byzantine;
 };
 
 // The client-visible availability of one run, distilled from
@@ -144,6 +151,18 @@ struct ScenarioResult {
   // Consensus-health alerts for this run (spec.monitor_health); empty when
   // monitoring is off or the run looked healthy.
   std::vector<tordir::HealthAlert> health_alerts;
+
+  // --- byzantine fault injection -------------------------------------------
+  // Number of byzantine authorities the spec injected (behaviors on ids
+  // >= authority_count don't count — they never instantiate).
+  uint32_t byzantine_count = 0;
+  // Injected byzantine authorities implicated by at least one health alert.
+  // Requires spec.monitor_health; the fuzzer asserts == byzantine_count.
+  uint32_t faults_detected = 0;
+  // Latest first-evidence time over the alerts implicating injected
+  // authorities — when the monitor had seen *every* injected fault. NaN when
+  // nothing was injected or nothing was detected.
+  double fault_detection_latency_seconds = std::numeric_limits<double>::quiet_NaN();
 };
 
 // Field-by-field equality with NaN == NaN (failed runs carry NaN latencies).
@@ -185,7 +204,9 @@ inline bool BitIdentical(const ScenarioResult& a, const ScenarioResult& b) {
          a.consensus_valid_until == b.consensus_valid_until &&
          a.consensus_size_bytes == b.consensus_size_bytes &&
          BitIdentical(a.client_availability, b.client_availability) &&
-         a.health_alerts == b.health_alerts;
+         a.health_alerts == b.health_alerts && a.byzantine_count == b.byzantine_count &&
+         a.faults_detected == b.faults_detected &&
+         same_double(a.fault_detection_latency_seconds, b.fault_detection_latency_seconds);
 }
 
 }  // namespace torscenario

@@ -828,6 +828,10 @@ std::string SerializeVote(const VoteDocument& vote) {
 }
 
 Result<VoteDocument> ParseVote(const std::string& text) {
+  return ParseVote(text, ParseOptions{});
+}
+
+Result<VoteDocument> ParseVote(const std::string& text, const ParseOptions& options) {
   LineCursor cursor(text);
   VoteDocument vote;
   if (cursor.done() || cursor.line() != "network-status-version 3 vote") {
@@ -846,7 +850,8 @@ Result<VoteDocument> ParseVote(const std::string& text) {
     if (StartsWith(line, "r ")) {
       RelayStatus& relay = vote.relays.emplace_back();
       size_t end_pos = 0;
-      if (TryParseRelayEntryFast(pool, flags_table, cursor.text(), cursor.line_start(), memo,
+      if (options.use_relay_fast_path &&
+          TryParseRelayEntryFast(pool, flags_table, cursor.text(), cursor.line_start(), memo,
                                  relay, &end_pos)) {
         cursor.SeekTo(end_pos);
       } else {
@@ -952,6 +957,10 @@ std::string SerializeConsensus(const ConsensusDocument& consensus) {
 }
 
 Result<ConsensusDocument> ParseConsensus(const std::string& text) {
+  return ParseConsensus(text, ParseOptions{});
+}
+
+Result<ConsensusDocument> ParseConsensus(const std::string& text, const ParseOptions& options) {
   LineCursor cursor(text);
   ConsensusDocument consensus;
   if (cursor.done() || cursor.line() != "network-status-version 3") {
@@ -968,7 +977,8 @@ Result<ConsensusDocument> ParseConsensus(const std::string& text) {
     if (StartsWith(line, "r ")) {
       RelayStatus& relay = consensus.relays.emplace_back();
       size_t end_pos = 0;
-      if (TryParseRelayEntryFast(pool, flags_table, cursor.text(), cursor.line_start(), memo,
+      if (options.use_relay_fast_path &&
+          TryParseRelayEntryFast(pool, flags_table, cursor.text(), cursor.line_start(), memo,
                                  relay, &end_pos)) {
         cursor.SeekTo(end_pos);
       } else {

@@ -29,9 +29,21 @@ class ThreadPool;
 
 namespace tordir {
 
+// Parser knobs. Defaults match honest steady-state behavior.
+struct ParseOptions {
+  // When false, every relay entry is parsed by the general fallback parser
+  // (ParseRelayEntry) instead of probing the strict canonical fast path
+  // first. On canonical input the two are interchangeable by construction;
+  // tests/codec_fuzz_test.cc parses every fuzzed mutant both ways and asserts
+  // they agree on accept/reject and produce identical documents, pinning the
+  // fast-path vs fallback boundary.
+  bool use_relay_fast_path = true;
+};
+
 // --- votes ----------------------------------------------------------------
 std::string SerializeVote(const VoteDocument& vote);
 torbase::Result<VoteDocument> ParseVote(const std::string& text);
+torbase::Result<VoteDocument> ParseVote(const std::string& text, const ParseOptions& options);
 
 // Digest of the serialized vote; this is the "h_i" the dissemination
 // sub-protocol signs and agrees on.
@@ -44,6 +56,8 @@ std::string SerializeConsensusUnsigned(const ConsensusDocument& consensus);
 // Serializes including "directory-signature" lines.
 std::string SerializeConsensus(const ConsensusDocument& consensus);
 torbase::Result<ConsensusDocument> ParseConsensus(const std::string& text);
+torbase::Result<ConsensusDocument> ParseConsensus(const std::string& text,
+                                                  const ParseOptions& options);
 
 // Digest of the unsigned consensus body (what signatures cover).
 torcrypto::Digest256 ConsensusDigest(const ConsensusDocument& consensus);

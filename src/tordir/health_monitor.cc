@@ -1,6 +1,20 @@
 #include "src/tordir/health_monitor.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace tordir {
+namespace {
+
+// min() over timestamps where -1.0 means "none yet".
+double EarlierOf(double current, double candidate) {
+  if (current < 0.0) {
+    return candidate;
+  }
+  return std::min(current, candidate);
+}
+
+}  // namespace
 
 const char* HealthAlertName(HealthAlertKind kind) {
   switch (kind) {
@@ -12,14 +26,48 @@ const char* HealthAlertName(HealthAlertKind kind) {
       return "consensus-fork";
     case HealthAlertKind::kNoConsensus:
       return "no-consensus";
+    case HealthAlertKind::kMalformedVote:
+      return "malformed-vote";
+    case HealthAlertKind::kReplayedVote:
+      return "replayed-vote";
+    case HealthAlertKind::kBandwidthInflation:
+      return "bandwidth-inflation";
   }
   return "?";
 }
 
 void HealthMonitor::RecordVote(torbase::NodeId observer, torbase::NodeId sender,
                                const torcrypto::Digest256& digest) {
-  vote_digests_[sender].insert(digest);
+  SenderStat& stat = senders_[sender];
+  auto [it, inserted] = stat.first_seen.emplace(digest, 0.0);
+  if (!inserted) {
+    it->second = std::min(it->second, 0.0);
+  }
   received_from_[observer].insert(sender);
+}
+
+void HealthMonitor::RecordObservation(torbase::NodeId observer,
+                                      const VoteObservation& observation) {
+  SenderStat& stat = senders_[observation.sender];
+  auto [it, inserted] = stat.first_seen.emplace(observation.digest, observation.at_seconds);
+  if (!inserted) {
+    it->second = std::min(it->second, observation.at_seconds);
+  }
+  stat.max_total_bandwidth = std::max(stat.max_total_bandwidth, observation.total_bandwidth);
+  stat.first_observed_seconds = EarlierOf(stat.first_observed_seconds, observation.at_seconds);
+  stat.has_bandwidth = true;
+  received_from_[observer].insert(observation.sender);
+}
+
+void HealthMonitor::RecordReject(torbase::NodeId observer, torbase::NodeId sender,
+                                 VoteRejectReason reason, double at_seconds) {
+  (void)observer;
+  if (sender == torbase::kNoNode) {
+    return;  // unattributable; nothing to implicate
+  }
+  RejectStat& stat = rejects_[sender][reason];
+  ++stat.count;
+  stat.earliest_seconds = EarlierOf(stat.earliest_seconds, at_seconds);
 }
 
 void HealthMonitor::RecordConsensus(torbase::NodeId authority,
@@ -30,14 +78,87 @@ void HealthMonitor::RecordConsensus(torbase::NodeId authority,
 std::vector<HealthAlert> HealthMonitor::Analyze() const {
   std::vector<HealthAlert> alerts;
 
-  // Vote equivocation: one sender, several digests.
-  for (const auto& [sender, digests] : vote_digests_) {
-    if (digests.size() > 1) {
+  // Vote equivocation: one sender, several digests. Evidence exists the
+  // moment the *second* distinct digest is seen.
+  for (const auto& [sender, stat] : senders_) {
+    if (stat.first_seen.size() > 1) {
+      double earliest = -1.0;
+      double second = -1.0;
+      for (const auto& [digest, at] : stat.first_seen) {
+        if (earliest < 0.0 || at < earliest) {
+          second = earliest;
+          earliest = at;
+        } else if (second < 0.0 || at < second) {
+          second = at;
+        }
+      }
       alerts.push_back(HealthAlert{
           HealthAlertKind::kVoteEquivocation,
           {sender},
           "authority " + std::to_string(sender) + " published " +
-              std::to_string(digests.size()) + " distinct votes"});
+              std::to_string(stat.first_seen.size()) + " distinct votes",
+          second});
+    }
+  }
+
+  // Admission rejects, classified. Unparseable and non-canonical bytes are
+  // both "malformed wire" from the monitor's point of view; stale windows are
+  // replays.
+  for (const auto& [sender, by_reason] : rejects_) {
+    uint32_t malformed = 0;
+    double malformed_at = -1.0;
+    for (VoteRejectReason reason :
+         {VoteRejectReason::kMalformed, VoteRejectReason::kNonCanonical}) {
+      if (auto it = by_reason.find(reason); it != by_reason.end()) {
+        malformed += it->second.count;
+        malformed_at = EarlierOf(malformed_at, it->second.earliest_seconds);
+      }
+    }
+    if (malformed > 0) {
+      alerts.push_back(HealthAlert{HealthAlertKind::kMalformedVote,
+                                   {sender},
+                                   "authority " + std::to_string(sender) + " sent " +
+                                       std::to_string(malformed) + " malformed votes",
+                                   malformed_at});
+    }
+  }
+  for (const auto& [sender, by_reason] : rejects_) {
+    if (auto it = by_reason.find(VoteRejectReason::kStaleWindow); it != by_reason.end()) {
+      alerts.push_back(HealthAlert{
+          HealthAlertKind::kReplayedVote,
+          {sender},
+          "authority " + std::to_string(sender) + " sent " + std::to_string(it->second.count) +
+              " votes with a closed validity window",
+          it->second.earliest_seconds});
+    }
+  }
+
+  // Bandwidth inflation: a sender whose vote claims a total relay bandwidth
+  // far above the median of its peers (TorMult-style multiplier). Needs at
+  // least 3 senders with bandwidth evidence for the median to mean anything.
+  {
+    std::vector<uint64_t> totals;
+    for (const auto& [sender, stat] : senders_) {
+      if (stat.has_bandwidth && stat.max_total_bandwidth > 0) {
+        totals.push_back(stat.max_total_bandwidth);
+      }
+    }
+    if (totals.size() >= 3) {
+      std::sort(totals.begin(), totals.end());
+      const uint64_t median = totals[(totals.size() - 1) / 2];
+      if (median > 0) {
+        for (const auto& [sender, stat] : senders_) {
+          if (stat.has_bandwidth && stat.max_total_bandwidth / 8 > median) {
+            alerts.push_back(HealthAlert{
+                HealthAlertKind::kBandwidthInflation,
+                {sender},
+                "authority " + std::to_string(sender) + " claims " +
+                    std::to_string(stat.max_total_bandwidth / median) +
+                    "x the median total vote bandwidth",
+                stat.first_observed_seconds});
+          }
+        }
+      }
     }
   }
 
@@ -90,8 +211,9 @@ std::vector<HealthAlert> HealthMonitor::Analyze() const {
 }
 
 void HealthMonitor::Reset() {
-  vote_digests_.clear();
+  senders_.clear();
   received_from_.clear();
+  rejects_.clear();
   consensus_.clear();
 }
 

@@ -1,15 +1,23 @@
 // Consensus-health monitoring (Table 1: the emergency fix by Luo et al. that
 // was applied to Tor's consensus-health monitor [35]). The monitor ingests
 // what an observer can see of a directory round — which authorities' votes
-// each authority received, and the signed consensus documents published — and
-// raises alerts for the observable attack signatures:
+// each authority received (and rejected), and the signed consensus documents
+// published — and raises alerts for the observable attack signatures:
 //
-//   * kMissingVotes      — a majority of authorities missing the same senders'
-//                          votes (the §4 DDoS signature, Figure 1)
-//   * kVoteEquivocation  — one authority's vote seen with two digests
-//   * kConsensusFork     — two differently-signed consensus documents in one
-//                          period (the Luo et al. equivocation attack)
-//   * kNoConsensus       — nobody produced a valid consensus this period
+//   * kMissingVotes        — a majority of authorities missing the same
+//                            senders' votes (the §4 DDoS signature, Figure 1)
+//   * kVoteEquivocation    — one authority's vote seen with two digests
+//   * kConsensusFork       — two differently-signed consensus documents in
+//                            one period (the Luo et al. equivocation attack)
+//   * kNoConsensus         — nobody produced a valid consensus this period
+//   * kMalformedVote       — an authority put unparseable or non-canonical
+//                            bytes on the wire (rejected at admission)
+//   * kReplayedVote        — an authority re-sent a vote whose validity
+//                            window had already closed (replay/stale
+//                            signature)
+//   * kBandwidthInflation  — an authority's vote claims a total relay
+//                            bandwidth far above the median of its peers
+//                            (the TorMult-style inflation attack)
 //
 // Detection does not *fix* the protocol (the paper's point), but it is the
 // deployed mitigation for the current network and gives operators the Fig. 1
@@ -25,6 +33,7 @@
 
 #include "src/common/ids.h"
 #include "src/crypto/digest.h"
+#include "src/tordir/admission.h"
 #include "src/tordir/vote.h"
 
 namespace tordir {
@@ -34,6 +43,9 @@ enum class HealthAlertKind {
   kVoteEquivocation,
   kConsensusFork,
   kNoConsensus,
+  kMalformedVote,
+  kReplayedVote,
+  kBandwidthInflation,
 };
 
 const char* HealthAlertName(HealthAlertKind kind);
@@ -44,10 +56,26 @@ struct HealthAlert {
   // equivocator / signers of forked documents).
   std::vector<torbase::NodeId> authorities;
   std::string detail;
+  // Simulation time (seconds) of the earliest evidence supporting the alert:
+  // the second distinct digest for equivocation, the first rejected message
+  // for malformed/replayed votes, the first sighting of an inflated vote.
+  // -1.0 when the alert is about an *absence* (missing votes, no consensus)
+  // or predates evidence timestamps (legacy RecordVote feeds).
+  double first_evidence_seconds = -1.0;
 
   // ScenarioResult carries alerts, so they participate in the parallel
   // sweep's BitIdentical equivalence.
   bool operator==(const HealthAlert&) const = default;
+};
+
+// Everything an observer learns from one *admitted* vote: who sent it, the
+// digest of its canonical bytes, when it first arrived, and the total relay
+// bandwidth it claims (for inflation detection).
+struct VoteObservation {
+  torbase::NodeId sender = torbase::kNoNode;
+  torcrypto::Digest256 digest;
+  double at_seconds = 0.0;
+  uint64_t total_bandwidth = 0;
 };
 
 class HealthMonitor {
@@ -55,8 +83,20 @@ class HealthMonitor {
   explicit HealthMonitor(uint32_t authority_count) : authority_count_(authority_count) {}
 
   // Records that `observer` received a vote from `sender` with `digest`.
+  // Legacy feed: equivalent to RecordObservation with no timestamp or
+  // bandwidth evidence.
   void RecordVote(torbase::NodeId observer, torbase::NodeId sender,
                   const torcrypto::Digest256& digest);
+
+  // Records an admitted vote with full evidence.
+  void RecordObservation(torbase::NodeId observer, const VoteObservation& observation);
+
+  // Records that `observer` rejected a vote attributed to `sender` at
+  // admission. Rejected votes do NOT count as received for the missing-votes
+  // check — an authority whose votes are rejected everywhere is missing from
+  // aggregation just as surely as one that never sent them.
+  void RecordReject(torbase::NodeId observer, torbase::NodeId sender, VoteRejectReason reason,
+                    double at_seconds);
 
   // Records a consensus document an authority ended the period with
   // (`digest` of the unsigned body); nullopt when it failed to produce one.
@@ -69,11 +109,26 @@ class HealthMonitor {
   void Reset();
 
  private:
+  struct SenderStat {
+    // digest -> earliest time this digest was seen (>=2 entries means
+    // equivocation; the second-earliest time is the evidence instant).
+    std::map<torcrypto::Digest256, double> first_seen;
+    uint64_t max_total_bandwidth = 0;
+    double first_observed_seconds = -1.0;
+    bool has_bandwidth = false;
+  };
+  struct RejectStat {
+    uint32_t count = 0;
+    double earliest_seconds = -1.0;
+  };
+
   uint32_t authority_count_;
-  // sender -> set of digests observed for its vote (>=2 means equivocation).
-  std::map<torbase::NodeId, std::set<torcrypto::Digest256>> vote_digests_;
-  // observer -> senders it received votes from.
+  // sender -> everything observed about its vote(s).
+  std::map<torbase::NodeId, SenderStat> senders_;
+  // observer -> senders it received admitted votes from.
   std::map<torbase::NodeId, std::set<torbase::NodeId>> received_from_;
+  // sender -> reason -> rejection evidence.
+  std::map<torbase::NodeId, std::map<VoteRejectReason, RejectStat>> rejects_;
   // authority -> consensus digest (if it produced one).
   std::map<torbase::NodeId, std::optional<torcrypto::Digest256>> consensus_;
 };

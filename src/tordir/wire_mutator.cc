@@ -1,0 +1,177 @@
+#include "src/tordir/wire_mutator.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace tordir {
+namespace {
+
+// Offsets of the first byte of every line in `text`.
+std::vector<size_t> LineStarts(const std::string& text) {
+  std::vector<size_t> starts;
+  starts.push_back(0);
+  for (size_t i = 0; i + 1 < text.size(); ++i) {
+    if (text[i] == '\n') {
+      starts.push_back(i + 1);
+    }
+  }
+  return starts;
+}
+
+// [start, end) of line `index`, end pointing one past the trailing '\n'.
+std::pair<size_t, size_t> LineSpan(const std::string& text, const std::vector<size_t>& starts,
+                                   size_t index) {
+  const size_t start = starts[index];
+  const size_t end = index + 1 < starts.size() ? starts[index + 1] : text.size();
+  return {start, end};
+}
+
+std::string GarbageLine(torbase::Rng& rng) {
+  return "x-" + rng.AlphaNumeric(12) + "\n";
+}
+
+void InsertGarbageLine(std::string& s, torbase::Rng& rng) {
+  const auto starts = LineStarts(s);
+  // Any line boundary, including one past the last line.
+  const size_t slot = rng.UniformU64(starts.size() + 1);
+  const size_t pos = slot < starts.size() ? starts[slot] : s.size();
+  s.insert(pos, GarbageLine(rng));
+}
+
+void DuplicateLine(std::string& s, torbase::Rng& rng) {
+  const auto starts = LineStarts(s);
+  const auto [start, end] = LineSpan(s, starts, rng.UniformU64(starts.size()));
+  std::string line = s.substr(start, end - start);
+  if (line.empty() || line.back() != '\n') {
+    line.push_back('\n');
+  }
+  s.insert(start, line);
+}
+
+void CorruptLineKeyword(std::string& s, torbase::Rng& rng) {
+  const auto starts = LineStarts(s);
+  s[starts[rng.UniformU64(starts.size())]] = '#';
+}
+
+void Truncate(std::string& s, torbase::Rng& rng) {
+  if (s.size() < 2) {
+    return;
+  }
+  s.resize(rng.UniformRange(1, s.size() - 1));
+}
+
+}  // namespace
+
+std::string MutateWire(const std::string& text, uint64_t seed) {
+  torbase::Rng rng(seed);
+  std::string s = text;
+  const uint64_t count = 1 + rng.UniformU64(3);
+  for (uint64_t i = 0; i < count && !s.empty(); ++i) {
+    switch (rng.UniformU64(9)) {
+      case 0: {  // flip bits in one byte
+        s[rng.UniformU64(s.size())] ^= static_cast<char>(1 + rng.UniformU64(255));
+        break;
+      }
+      case 1: {  // insert a printable byte
+        const char c = static_cast<char>(' ' + rng.UniformU64(95));
+        s.insert(s.begin() + static_cast<ptrdiff_t>(rng.UniformU64(s.size() + 1)), c);
+        break;
+      }
+      case 2: {  // delete one byte
+        s.erase(rng.UniformU64(s.size()), 1);
+        break;
+      }
+      case 3:
+        DuplicateLine(s, rng);
+        break;
+      case 4: {  // delete a whole line
+        const auto starts = LineStarts(s);
+        const auto [start, end] = LineSpan(s, starts, rng.UniformU64(starts.size()));
+        s.erase(start, end - start);
+        break;
+      }
+      case 5: {  // swap two space-separated words within one line
+        const auto starts = LineStarts(s);
+        const auto [start, end] = LineSpan(s, starts, rng.UniformU64(starts.size()));
+        std::vector<std::pair<size_t, size_t>> words;
+        size_t w = start;
+        for (size_t j = start; j < end; ++j) {
+          if (s[j] == ' ' || s[j] == '\n') {
+            if (j > w) {
+              words.emplace_back(w, j);
+            }
+            w = j + 1;
+          }
+        }
+        if (end > w && end > start && s[end - 1] != '\n') {
+          words.emplace_back(w, end);
+        }
+        if (words.size() >= 2) {
+          const size_t a = rng.UniformU64(words.size());
+          const size_t b = rng.UniformU64(words.size());
+          if (a != b) {
+            const auto [alo, ahi] = words[std::min(a, b)];
+            const auto [blo, bhi] = words[std::max(a, b)];
+            const std::string wa = s.substr(alo, ahi - alo);
+            const std::string wb = s.substr(blo, bhi - blo);
+            // Replace back-to-front so earlier offsets stay valid.
+            s.replace(blo, bhi - blo, wa);
+            s.replace(alo, ahi - alo, wb);
+          }
+        }
+        break;
+      }
+      case 6: {  // increment a random digit
+        std::vector<size_t> digits;
+        for (size_t j = 0; j < s.size(); ++j) {
+          if (s[j] >= '0' && s[j] <= '9') {
+            digits.push_back(j);
+          }
+        }
+        if (!digits.empty()) {
+          char& c = s[digits[rng.UniformU64(digits.size())]];
+          c = c == '9' ? '0' : static_cast<char>(c + 1);
+        }
+        break;
+      }
+      case 7:
+        Truncate(s, rng);
+        break;
+      case 8:
+        InsertGarbageLine(s, rng);
+        break;
+    }
+  }
+  if (s == text && !s.empty()) {
+    s[s.size() / 2] ^= 0x01;
+  }
+  return s;
+}
+
+std::string MutateWireStructural(const std::string& text, uint64_t seed) {
+  torbase::Rng rng(seed);
+  std::string s = text;
+  if (s.empty()) {
+    return "x-empty\n";
+  }
+  switch (rng.UniformU64(4)) {
+    case 0:
+      InsertGarbageLine(s, rng);
+      break;
+    case 1:
+      DuplicateLine(s, rng);
+      break;
+    case 2:
+      Truncate(s, rng);
+      break;
+    case 3:
+      CorruptLineKeyword(s, rng);
+      break;
+  }
+  return s;
+}
+
+}  // namespace tordir

@@ -1,0 +1,42 @@
+// Seeded, deterministic mutations of dir-spec wire bytes.
+//
+// Two tiers:
+//
+//   * MutateWire — a general corpus mutator (byte flips, line splices, word
+//     swaps, truncation...) used by tests/codec_fuzz_test.cc to shake the
+//     ParseVote/ParseConsensus fast-path vs fallback boundary. Mutants may or
+//     may not still parse; the test asserts the two parsers agree and that
+//     anything accepted either round-trips byte-exactly or is refused by
+//     AdmitVote as non-canonical.
+//
+//   * MutateWireStructural — a restricted mutator whose every output is
+//     guaranteed to be refused by the admission layer (either it no longer
+//     parses, or it parses but re-serializes differently). This is what the
+//     kMalformedWire byzantine behavior feeds onto the simulated wire: the
+//     bytes look plausible enough to exercise parsers, but an honest
+//     authority must never aggregate them.
+//
+// Both are pure functions of (text, seed): the same inputs produce the same
+// mutant on every platform, which is what keeps byzantine scenario cells
+// bit-identical between serial and parallel sweeps.
+#ifndef SRC_TORDIR_WIRE_MUTATOR_H_
+#define SRC_TORDIR_WIRE_MUTATOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tordir {
+
+// Applies 1-3 seeded mutations drawn from the full corpus set. Always returns
+// bytes different from `text` (for non-degenerate inputs of >= 2 lines).
+std::string MutateWire(const std::string& text, uint64_t seed);
+
+// Applies one seeded mutation from the restricted set (garbage line, line
+// duplication, truncation, keyword corruption). Every output is either
+// unparseable or parses to a document whose re-serialization differs from the
+// mutant bytes, so AdmitVote always rejects it.
+std::string MutateWireStructural(const std::string& text, uint64_t seed);
+
+}  // namespace tordir
+
+#endif  // SRC_TORDIR_WIRE_MUTATOR_H_

@@ -1,0 +1,193 @@
+// Seeded mutation fuzzing for the wire codec (src/tordir/dirspec.cc) and the
+// admission layer (src/tordir/admission.h). Thousands of deterministic
+// byte/line/word mutants of canonical vote and consensus bytes, asserting:
+//
+//   * ParseVote / ParseConsensus never crash on any mutant;
+//   * the canonical relay fast path and the fallback parser agree on
+//     accept/reject — and on the parsed document — for every mutant
+//     (ParseOptions::use_relay_fast_path is the differential switch);
+//   * no accepted vote mutant whose re-serialization differs from its input
+//     survives admission (the canonicality check AdmitVote enforces);
+//   * every structural mutant (the byzantine malformed-wire generator) is
+//     refused at admission — the guarantee the fault injector relies on.
+//
+// Everything is seed-indexed, so a failure reproduces from the seed printed
+// in the assertion message.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/crypto/digest.h"
+#include "src/tordir/admission.h"
+#include "src/tordir/aggregate.h"
+#include "src/tordir/dirspec.h"
+#include "src/tordir/generator.h"
+#include "src/tordir/wire_mutator.h"
+
+namespace tordir {
+namespace {
+
+constexpr uint64_t kVoteMutants = 600;
+constexpr uint64_t kStructuralMutants = 400;
+constexpr uint64_t kConsensusMutants = 400;
+
+PopulationConfig SmallConfig() {
+  PopulationConfig config;
+  config.relay_count = 40;
+  config.seed = 7;
+  return config;
+}
+
+const std::vector<std::string>& CanonicalVoteTexts() {
+  static const std::vector<std::string>* texts = [] {
+    const PopulationConfig config = SmallConfig();
+    const auto population = GeneratePopulation(config);
+    auto* result = new std::vector<std::string>();
+    for (torbase::NodeId authority : {0u, 4u, 8u}) {
+      result->push_back(SerializeVote(MakeVote(authority, 9, population, config)));
+    }
+    return result;
+  }();
+  return *texts;
+}
+
+const std::string& CanonicalConsensusText() {
+  static const std::string* text = [] {
+    const PopulationConfig config = SmallConfig();
+    const auto population = GeneratePopulation(config);
+    const auto votes = MakeAllVotes(9, population, config);
+    std::vector<const VoteDocument*> vote_ptrs;
+    for (const auto& vote : votes) {
+      vote_ptrs.push_back(&vote);
+    }
+    return new std::string(SerializeConsensus(ComputeConsensus(vote_ptrs, {})));
+  }();
+  return *text;
+}
+
+// Parses with the canonical relay fast path and with the general fallback;
+// asserts both agree on accept/reject and, when accepting, on the document.
+// Returns the fast-path result.
+torbase::Result<VoteDocument> ParseVoteBothWays(const std::string& text, uint64_t seed) {
+  const auto fast = ParseVote(text, ParseOptions{/*use_relay_fast_path=*/true});
+  const auto fallback = ParseVote(text, ParseOptions{/*use_relay_fast_path=*/false});
+  EXPECT_EQ(fast.ok(), fallback.ok())
+      << "fast path and fallback disagree on mutant seed " << seed << ": fast="
+      << fast.status().ToString() << " fallback=" << fallback.status().ToString();
+  if (fast.ok() && fallback.ok()) {
+    EXPECT_TRUE(*fast == *fallback) << "documents differ on mutant seed " << seed;
+  }
+  return fast;
+}
+
+TEST(CodecFuzzTest, CanonicalTextsParseIdenticallyAndRoundTrip) {
+  for (const std::string& text : CanonicalVoteTexts()) {
+    const auto parsed = ParseVoteBothWays(text, /*seed=*/0);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(SerializeVote(*parsed), text);
+  }
+  const auto consensus = ParseConsensus(CanonicalConsensusText());
+  ASSERT_TRUE(consensus.ok());
+  EXPECT_EQ(SerializeConsensus(*consensus), CanonicalConsensusText());
+}
+
+TEST(CodecFuzzTest, VoteMutantsNeverCrashAndPathsAgree) {
+  uint64_t accepted = 0;
+  for (const std::string& text : CanonicalVoteTexts()) {
+    for (uint64_t seed = 1; seed <= kVoteMutants; ++seed) {
+      const std::string mutant = MutateWire(text, seed);
+      const auto parsed = ParseVoteBothWays(mutant, seed);
+      if (parsed.ok()) {
+        ++accepted;
+      }
+    }
+  }
+  // The mutators hit parse-relevant bytes most of the time, but some mutants
+  // (duplicated relay lines, trailing garbage after the footer, digit tweaks)
+  // legitimately still parse. Both extremes would make this test vacuous.
+  EXPECT_GT(accepted, 0u);
+  EXPECT_LT(accepted, 3 * kVoteMutants / 2);
+}
+
+TEST(CodecFuzzTest, NoNonCanonicalAcceptSurvivesAdmission) {
+  // The lenient parser may accept a mutant whose re-serialization differs
+  // (silently overwritten duplicate items, ignored trailing content). The
+  // admission layer must catch exactly those: an admitted text always
+  // re-serializes to its own bytes.
+  for (const std::string& text : CanonicalVoteTexts()) {
+    const uint64_t period_start = ParseVote(text)->valid_after;
+    for (uint64_t seed = 1; seed <= kVoteMutants; ++seed) {
+      const std::string mutant = MutateWire(text, seed);
+      const auto parsed = ParseVote(mutant);
+      if (!parsed.ok()) {
+        continue;
+      }
+      const VoteAdmission admission = AdmitVote(nullptr, mutant, period_start);
+      if (admission.status.ok()) {
+        EXPECT_EQ(SerializeVote(*admission.document), mutant)
+            << "admitted non-canonical mutant, seed " << seed;
+      } else {
+        // Refused accepts must be refused for a classified reason, not a
+        // parser inconsistency: the same text parsed above.
+        EXPECT_NE(admission.reason, VoteRejectReason::kMalformed)
+            << "parseable mutant classified malformed, seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(CodecFuzzTest, StructuralMutantsAreAlwaysRefusedAtAdmission) {
+  // MutateWireStructural is the byzantine malformed-wire generator: its
+  // guarantee is that *every* structural mutant of a canonical vote is
+  // refused at admission (unparseable or non-canonical), so an injected
+  // faulty authority is always detectable.
+  for (const std::string& text : CanonicalVoteTexts()) {
+    const uint64_t period_start = ParseVote(text)->valid_after;
+    for (uint64_t seed = 1; seed <= kStructuralMutants; ++seed) {
+      const std::string mutant = MutateWireStructural(text, seed);
+      ASSERT_NE(mutant, text) << "structural mutator returned the input, seed " << seed;
+      ParseVoteBothWays(mutant, seed);  // no-crash + differential agreement
+      const VoteAdmission admission = AdmitVote(nullptr, mutant, period_start);
+      EXPECT_FALSE(admission.status.ok()) << "structural mutant admitted, seed " << seed;
+      EXPECT_NE(admission.reason, VoteRejectReason::kStaleWindow)
+          << "structural mutant misclassified as replay, seed " << seed;
+    }
+  }
+}
+
+TEST(CodecFuzzTest, ReplayedVotesAreRefusedWithAStaleWindowStatus) {
+  // A byte-identical vote re-sent after its validity window closed must be
+  // refused as a replay (specific status), not silently admitted.
+  const std::string& text = CanonicalVoteTexts()[0];
+  const auto vote = ParseVote(text);
+  ASSERT_TRUE(vote.ok());
+  const VoteAdmission admission = AdmitVote(nullptr, text, vote->valid_until);
+  ASSERT_FALSE(admission.status.ok());
+  EXPECT_EQ(admission.reason, VoteRejectReason::kStaleWindow);
+  EXPECT_EQ(admission.status.code(), torbase::StatusCode::kFailedPrecondition);
+  EXPECT_NE(admission.status.message().find("replayed vote"), std::string::npos);
+  // Attribution survives rejection: the document's own author is implicated.
+  EXPECT_EQ(admission.author, vote->authority);
+}
+
+TEST(CodecFuzzTest, ConsensusMutantsNeverCrashAndPathsAgree) {
+  const std::string& text = CanonicalConsensusText();
+  uint64_t accepted = 0;
+  for (uint64_t seed = 1; seed <= kConsensusMutants; ++seed) {
+    const std::string mutant = MutateWire(text, seed);
+    const auto fast = ParseConsensus(mutant, ParseOptions{/*use_relay_fast_path=*/true});
+    const auto fallback = ParseConsensus(mutant, ParseOptions{/*use_relay_fast_path=*/false});
+    EXPECT_EQ(fast.ok(), fallback.ok())
+        << "consensus fast path and fallback disagree on mutant seed " << seed;
+    if (fast.ok() && fallback.ok()) {
+      EXPECT_TRUE(*fast == *fallback) << "consensus documents differ on mutant seed " << seed;
+      ++accepted;
+    }
+  }
+  EXPECT_GT(accepted, 0u);
+  EXPECT_LT(accepted, kConsensusMutants);
+}
+
+}  // namespace
+}  // namespace tordir

@@ -1,5 +1,6 @@
 // Tests for the consensus-health monitor: each attack signature (DDoS vote
-// starvation, vote equivocation, consensus fork, total failure) and the
+// starvation, vote equivocation, consensus fork, total failure), the
+// admission-evidence taxonomy (malformed / replayed / inflated votes) and the
 // healthy baseline.
 #include <gtest/gtest.h>
 
@@ -107,6 +108,141 @@ TEST(HealthMonitorTest, AlertNamesAreStable) {
   EXPECT_STREQ(HealthAlertName(HealthAlertKind::kVoteEquivocation), "vote-equivocation");
   EXPECT_STREQ(HealthAlertName(HealthAlertKind::kConsensusFork), "consensus-fork");
   EXPECT_STREQ(HealthAlertName(HealthAlertKind::kNoConsensus), "no-consensus");
+  EXPECT_STREQ(HealthAlertName(HealthAlertKind::kMalformedVote), "malformed-vote");
+  EXPECT_STREQ(HealthAlertName(HealthAlertKind::kReplayedVote), "replayed-vote");
+  EXPECT_STREQ(HealthAlertName(HealthAlertKind::kBandwidthInflation), "bandwidth-inflation");
+}
+
+// --- admission-evidence taxonomy ---------------------------------------------
+// One test per injected byzantine behavior: the exact alert kind, the exact
+// implicated authority, and the evidence timestamp. The healthy baseline
+// (observation feed) stays alert-free.
+
+// Observation-feed twin of FillHealthy: timestamps and bandwidth evidence.
+void FillHealthyObservations(HealthMonitor& monitor, uint32_t n) {
+  for (torbase::NodeId observer = 0; observer < n; ++observer) {
+    for (torbase::NodeId sender = 0; sender < n; ++sender) {
+      if (observer != sender) {
+        monitor.RecordObservation(
+            observer, VoteObservation{sender, VoteDigestOf(sender),
+                                      /*at_seconds=*/1.0 + sender, /*total_bandwidth=*/1000});
+      }
+    }
+    monitor.RecordConsensus(observer, Digest256::Of("consensus"));
+  }
+}
+
+TEST(HealthMonitorTaxonomyTest, HealthyObservationFeedRaisesNothing) {
+  HealthMonitor monitor(9);
+  FillHealthyObservations(monitor, 9);
+  EXPECT_TRUE(monitor.Analyze().empty());
+}
+
+TEST(HealthMonitorTaxonomyTest, EquivocationCarriesSecondSightingTimestamp) {
+  HealthMonitor monitor(9);
+  FillHealthyObservations(monitor, 9);
+  // Authority 3's second variant, first seen at t=42.5 by observer 7.
+  monitor.RecordObservation(7, VoteObservation{3, VoteDigestOf(3, /*variant=*/1), 42.5, 1000});
+  const auto alerts = monitor.Analyze();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, HealthAlertKind::kVoteEquivocation);
+  EXPECT_EQ(alerts[0].authorities, (std::vector<torbase::NodeId>{3}));
+  // Evidence instant = when the *second* distinct digest appeared, not the
+  // first sighting of the vote.
+  EXPECT_DOUBLE_EQ(alerts[0].first_evidence_seconds, 42.5);
+}
+
+TEST(HealthMonitorTaxonomyTest, MalformedRejectsClassifyAsMalformedVote) {
+  HealthMonitor monitor(9);
+  FillHealthyObservations(monitor, 9);
+  // Unparseable and non-canonical bytes both land in the malformed bucket;
+  // the evidence instant is the earliest reject.
+  monitor.RecordReject(2, 4, VoteRejectReason::kMalformed, 7.5);
+  monitor.RecordReject(6, 4, VoteRejectReason::kNonCanonical, 3.25);
+  const auto alerts = monitor.Analyze();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, HealthAlertKind::kMalformedVote);
+  EXPECT_EQ(alerts[0].authorities, (std::vector<torbase::NodeId>{4}));
+  EXPECT_DOUBLE_EQ(alerts[0].first_evidence_seconds, 3.25);
+  EXPECT_NE(alerts[0].detail.find("2 malformed votes"), std::string::npos);
+}
+
+TEST(HealthMonitorTaxonomyTest, StaleWindowRejectsClassifyAsReplayedVote) {
+  HealthMonitor monitor(9);
+  FillHealthyObservations(monitor, 9);
+  monitor.RecordReject(1, 5, VoteRejectReason::kStaleWindow, 12.0);
+  monitor.RecordReject(3, 5, VoteRejectReason::kStaleWindow, 9.0);
+  const auto alerts = monitor.Analyze();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, HealthAlertKind::kReplayedVote);
+  EXPECT_EQ(alerts[0].authorities, (std::vector<torbase::NodeId>{5}));
+  EXPECT_DOUBLE_EQ(alerts[0].first_evidence_seconds, 9.0);
+}
+
+TEST(HealthMonitorTaxonomyTest, UnattributableRejectsImplicateNobody) {
+  HealthMonitor monitor(9);
+  FillHealthyObservations(monitor, 9);
+  // Malformed bytes relayed through an honest middleman carry no sound
+  // attribution; the monitor must not blame anyone.
+  monitor.RecordReject(2, torbase::kNoNode, VoteRejectReason::kMalformed, 5.0);
+  EXPECT_TRUE(monitor.Analyze().empty());
+}
+
+TEST(HealthMonitorTaxonomyTest, InflatedBandwidthFlagsTheOutlier) {
+  HealthMonitor monitor(9);
+  FillHealthyObservations(monitor, 9);
+  // Authority 6's vote claims 64x the peers' ~1000 total; first seen at 2.0s
+  // (the healthy fill already recorded sender 6 at 1.0 + 6 = 7.0s, so the
+  // earlier sighting below becomes the first-observed instant).
+  monitor.RecordObservation(0, VoteObservation{6, VoteDigestOf(6), 2.0, 64'000});
+  const auto alerts = monitor.Analyze();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, HealthAlertKind::kBandwidthInflation);
+  EXPECT_EQ(alerts[0].authorities, (std::vector<torbase::NodeId>{6}));
+  EXPECT_DOUBLE_EQ(alerts[0].first_evidence_seconds, 2.0);
+  EXPECT_NE(alerts[0].detail.find("64x"), std::string::npos);
+}
+
+TEST(HealthMonitorTaxonomyTest, ModestBandwidthSpreadIsNotInflation) {
+  HealthMonitor monitor(9);
+  for (torbase::NodeId observer = 0; observer < 9; ++observer) {
+    for (torbase::NodeId sender = 0; sender < 9; ++sender) {
+      if (observer != sender) {
+        // Totals spread 1000..1800: well under the 8x-median bar.
+        monitor.RecordObservation(observer, VoteObservation{sender, VoteDigestOf(sender), 1.0,
+                                                            1000 + sender * 100ull});
+      }
+    }
+    monitor.RecordConsensus(observer, Digest256::Of("consensus"));
+  }
+  EXPECT_TRUE(monitor.Analyze().empty());
+}
+
+TEST(HealthMonitorTaxonomyTest, RejectedVotesStillCountAsMissing) {
+  // An authority whose vote every peer refuses at admission contributes
+  // nothing to aggregation: the missing-votes signature fires alongside the
+  // reject classification.
+  HealthMonitor monitor(9);
+  for (torbase::NodeId observer = 0; observer < 9; ++observer) {
+    for (torbase::NodeId sender = 0; sender < 9; ++sender) {
+      if (observer == sender || sender == 0) {
+        continue;
+      }
+      monitor.RecordObservation(observer,
+                                VoteObservation{sender, VoteDigestOf(sender), 1.0, 1000});
+    }
+    if (observer != 0) {
+      monitor.RecordReject(observer, 0, VoteRejectReason::kMalformed, 0.5);
+    }
+    monitor.RecordConsensus(observer, Digest256::Of("consensus"));
+  }
+  const auto alerts = monitor.Analyze();
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(alerts[0].kind, HealthAlertKind::kMalformedVote);
+  EXPECT_EQ(alerts[0].authorities, (std::vector<torbase::NodeId>{0}));
+  EXPECT_EQ(alerts[1].kind, HealthAlertKind::kMissingVotes);
+  EXPECT_EQ(alerts[1].authorities, (std::vector<torbase::NodeId>{0}));
+  EXPECT_DOUBLE_EQ(alerts[1].first_evidence_seconds, -1.0);  // absence: no instant
 }
 
 }  // namespace

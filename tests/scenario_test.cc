@@ -284,6 +284,13 @@ TEST(ScenarioTest, ParallelSweepIsBitIdenticalToSerial) {
           spec.churn.push_back({/*node=*/7, /*at=*/Seconds(30), ChurnEvent::Kind::kCrash});
           spec.churn.push_back({/*node=*/7, /*at=*/Minutes(6), ChurnEvent::Kind::kRecover});
         }
+        if (variant == 1) {
+          // Byzantine cells exercise the fault-injection fields (alerts with
+          // evidence timestamps, detection metrics) under the identity
+          // contract too.
+          spec.byzantine.behaviors[4] = torproto::ByzantineBehavior::kEquivocate;
+          spec.byzantine.behaviors[5] = torproto::ByzantineBehavior::kMalformedWire;
+        }
         if (variant == 2) {
           // Client load exercises the consumption-plane fields (availability
           // metrics, publish metadata, consensus size) under the identity
@@ -427,6 +434,88 @@ TEST(HealthMonitorWiringTest, MonitoringCanBeDisabled) {
   EXPECT_TRUE(runner.Run(spec).health_alerts.empty());
 }
 
+// --- byzantine fault injection -----------------------------------------------
+
+bool AlertImplicates(const tordir::HealthAlert& alert, torbase::NodeId authority) {
+  return std::find(alert.authorities.begin(), alert.authorities.end(), authority) !=
+         alert.authorities.end();
+}
+
+TEST(ByzantineScenarioTest, EachBehaviorIsDetectedUnderEveryProtocol) {
+  // One faulty authority per run (well below every protocol's tolerance):
+  // the run must stay live, the monitor must implicate exactly that
+  // authority, and the behavior's signature alert kind must be present with
+  // a timestamped first-evidence instant.
+  struct Case {
+    torproto::ByzantineBehavior behavior;
+    tordir::HealthAlertKind expected;
+  };
+  const Case cases[] = {
+      {torproto::ByzantineBehavior::kEquivocate, tordir::HealthAlertKind::kVoteEquivocation},
+      {torproto::ByzantineBehavior::kReplay, tordir::HealthAlertKind::kReplayedVote},
+      {torproto::ByzantineBehavior::kMalformedWire, tordir::HealthAlertKind::kMalformedVote},
+      {torproto::ByzantineBehavior::kInflateBandwidth,
+       tordir::HealthAlertKind::kBandwidthInflation},
+  };
+  ScenarioRunner runner;
+  for (const char* protocol : {"current", "synchronous", "icps"}) {
+    for (const Case& c : cases) {
+      ScenarioSpec spec = SmallSpec(protocol);
+      spec.horizon = torbase::Hours(1);
+      spec.byzantine.behaviors[4] = c.behavior;
+      const auto result = runner.Run(spec);
+      const std::string label = std::string(protocol) + " / " +
+                                torproto::ByzantineBehaviorName(c.behavior);
+      EXPECT_TRUE(result.succeeded) << label;
+      EXPECT_EQ(result.byzantine_count, 1u) << label;
+      EXPECT_EQ(result.faults_detected, 1u) << label;
+      EXPECT_FALSE(std::isnan(result.fault_detection_latency_seconds)) << label;
+      bool signature_alert = false;
+      for (const auto& alert : result.health_alerts) {
+        if (alert.kind == c.expected && AlertImplicates(alert, 4)) {
+          signature_alert = true;
+          EXPECT_GE(alert.first_evidence_seconds, 0.0) << label;
+        }
+        // No honest authority is ever implicated by a sender-attributed
+        // alert (fork/no-consensus alerts describe the outcome, not blame).
+        if (alert.kind == c.expected) {
+          for (const torbase::NodeId authority : alert.authorities) {
+            EXPECT_EQ(authority, 4u) << label;
+          }
+        }
+      }
+      EXPECT_TRUE(signature_alert) << label;
+    }
+  }
+}
+
+TEST(ByzantineScenarioTest, BehaviorsOnOutOfRangeIdsNeverInstantiate) {
+  ScenarioSpec spec = SmallSpec("current");
+  spec.byzantine.behaviors[40] = torproto::ByzantineBehavior::kEquivocate;
+  ScenarioRunner runner;
+  const auto result = runner.Run(spec);
+  EXPECT_TRUE(result.succeeded);
+  EXPECT_EQ(result.byzantine_count, 0u);
+  EXPECT_EQ(result.faults_detected, 0u);
+  EXPECT_TRUE(result.health_alerts.empty());
+}
+
+TEST(ByzantineScenarioTest, IcpsStaysLiveBelowOneThirdFaulty) {
+  // f = 2 of 9: two simultaneously faulty authorities with different
+  // behaviors. ICPS must still assemble a valid consensus on every honest
+  // authority, and both faults must be flagged.
+  ScenarioSpec spec = SmallSpec("icps");
+  spec.horizon = torbase::Hours(1);
+  spec.byzantine.behaviors[1] = torproto::ByzantineBehavior::kEquivocate;
+  spec.byzantine.behaviors[4] = torproto::ByzantineBehavior::kReplay;
+  ScenarioRunner runner;
+  const auto result = runner.Run(spec);
+  EXPECT_TRUE(result.succeeded);
+  EXPECT_GE(result.valid_count, 7u);  // all honest authorities finish
+  EXPECT_EQ(result.byzantine_count, 2u);
+  EXPECT_EQ(result.faults_detected, 2u);
+}
+
 // --- BitIdentical field coverage ---------------------------------------------
 
 // Guards the BitIdentical <-> ScenarioResult contract from both sides:
@@ -434,7 +523,7 @@ TEST(HealthMonitorWiringTest, MonitoringCanBeDisabled) {
 // the comparison; (2) the size pin makes adding a field without revisiting
 // BitIdentical (and this test) a compile error on the reference ABI.
 #if defined(__GLIBCXX__) && defined(__x86_64__) && !defined(_GLIBCXX_DEBUG)
-static_assert(sizeof(ScenarioResult) == 272 && sizeof(ClientAvailabilityResult) == 96,
+static_assert(sizeof(ScenarioResult) == 288 && sizeof(ClientAvailabilityResult) == 96,
               "ScenarioResult changed shape: extend BitIdentical (scenario.h), the mutation "
               "sweep in ResultFieldListIsCoveredByBitIdentical, then update these constants");
 #endif
@@ -468,7 +557,10 @@ TEST(ScenarioResultContractTest, ResultFieldListIsCoveredByBitIdentical) {
     r.client_availability.hard_down_start_seconds = 16.0;
     r.client_availability.peak_backlog_fetches = 17.0;
     r.health_alerts = {
-        tordir::HealthAlert{tordir::HealthAlertKind::kNoConsensus, {1}, "detail"}};
+        tordir::HealthAlert{tordir::HealthAlertKind::kNoConsensus, {1}, "detail", 18.0}};
+    r.byzantine_count = 2;
+    r.faults_detected = 2;
+    r.fault_detection_latency_seconds = 19.0;
     return r;
   }();
   ASSERT_TRUE(BitIdentical(baseline, baseline));
@@ -508,7 +600,11 @@ TEST(ScenarioResultContractTest, ResultFieldListIsCoveredByBitIdentical) {
       [](ScenarioResult& r) { r.client_availability.hard_down_start_seconds += 1; },
       [](ScenarioResult& r) { r.client_availability.peak_backlog_fetches += 1; },
       [](ScenarioResult& r) { r.health_alerts[0].detail += "x"; },
+      [](ScenarioResult& r) { r.health_alerts[0].first_evidence_seconds += 1; },
       [](ScenarioResult& r) { r.health_alerts.clear(); },
+      [](ScenarioResult& r) { r.byzantine_count += 1; },
+      [](ScenarioResult& r) { r.faults_detected += 1; },
+      [](ScenarioResult& r) { r.fault_detection_latency_seconds += 1; },
   };
   for (size_t i = 0; i < mutators.size(); ++i) {
     ScenarioResult mutated = baseline;
