@@ -9,12 +9,22 @@
 // (src/clients), which integrates 5M clients' fetch demand against the
 // directory-cache tier in closed form.
 //
+// Each round also carries the previous round's *actual published document* as
+// its diff baseline (ScenarioSpec::previous_consensus — round N diffs against
+// round N−1's retained ScenarioResult::consensus_document, not against a
+// re-materialized workload), so the with-diffs serving series below is honest:
+// the day is replayed twice through the consumption plane, once all-full-
+// document and once with a diff-capable steady-state cohort, and the
+// bytes-per-client-hour contrast is printed side by side.
+//
 // Usage: client_availability [--quick] [--threads N]
 //   --quick      12 hours, 1,000 relays, flood shape only (CI smoke)
-//   --threads N  sweep worker threads (default: hardware concurrency)
+//   --threads N  accepted for compatibility; the chained replay (round N
+//                needs round N−1's document) runs cells sequentially
 //
 // Exit code is non-zero if the headline contrast disappears: the deployed
-// protocol must hard-down its clients, ICPS must keep them 100% fresh.
+// protocol must hard-down its clients, ICPS must keep them 100% fresh —
+// and diff serving must never *raise* the day's served bytes.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -34,6 +44,10 @@ struct AttackShape {
   double available_bps;
 };
 
+// Fraction of steady-state refetchers assumed diff-capable in the serving-
+// cost replay (real Tor clients have fetched consensus diffs since 0.3.1).
+constexpr double kDiffCapableFraction = 0.8;
+
 torclients::ClientLoadSpec DaySpec(int hours) {
   torclients::ClientLoadSpec clients;
   clients.client_count = 5'000'000;
@@ -52,6 +66,8 @@ std::string RunString(const std::vector<torscenario::ScenarioResult>& rounds) {
 // Stitches each round's publish metadata into the day-long virtual timeline:
 // round h starts at h * 3600 s, and its document's unix validity window is
 // mapped through the vote-lead clock convention (torclients::MapToTimeline).
+// Rounds that published with a diff baseline carry their diff wire size, so
+// the consumption plane can serve the diff-capable cohort at that size.
 std::vector<torclients::PublishedDocument> DayTimeline(
     const std::vector<torscenario::ScenarioResult>& rounds,
     const torclients::ClientLoadSpec& clients) {
@@ -65,6 +81,7 @@ std::vector<torclients::PublishedDocument> DayTimeline(
         static_cast<double>(hour) * 3600.0, round.consensus_published_seconds,
         round.consensus_valid_after, round.consensus_fresh_until, round.consensus_valid_until,
         static_cast<double>(round.consensus_size_bytes), clients.vote_lead));
+    documents.back().diff_size_bytes = static_cast<double>(round.consensus_diff_size_bytes);
   }
   return documents;
 }
@@ -106,6 +123,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  (void)threads;  // the chained replay is inherently sequential
   const int hours = quick ? 12 : 24;
   const size_t relays = quick ? 1000 : 2000;
   constexpr int kAttackFromHour = 2;
@@ -129,9 +147,14 @@ int main(int argc, char** argv) {
   for (const AttackShape& shape : shapes) {
     std::printf("--- attack shape: %s ---\n", shape.label);
     for (const char* protocol : {"current", "icps"}) {
-      // One spec per hour; attacked hours flood the first 5 authorities for
-      // the first 5 minutes of the round.
-      std::vector<torscenario::ScenarioSpec> specs;
+      // One run per hour; attacked hours flood the first 5 authorities for
+      // the first 5 minutes of the round. Rounds run sequentially (sharing
+      // the runner's workload cache) because each carries the previous
+      // round's actual published document as its diff baseline — across a
+      // failed round clients keep the older document, so the last successful
+      // round's document stays the baseline.
+      std::vector<torscenario::ScenarioResult> rounds;
+      std::shared_ptr<const tordir::ConsensusDocument> previous_document;
       for (int hour = 0; hour < hours; ++hour) {
         torscenario::ScenarioSpec spec;
         spec.name = "client_availability";
@@ -140,6 +163,7 @@ int main(int argc, char** argv) {
         spec.horizon = torbase::Hours(1);
         spec.client_load = clients;
         spec.client_load.evaluation_window = torbase::Hours(1);
+        spec.previous_consensus = previous_document;
         if (hour >= kAttackFromHour) {
           torattack::AttackWindow window;
           window.targets = torattack::FirstTargets(5);
@@ -149,21 +173,55 @@ int main(int argc, char** argv) {
           spec.attack = std::make_shared<torattack::WindowedAttack>(
               std::vector<torattack::AttackWindow>{window});
         }
-        specs.push_back(std::move(spec));
+        rounds.push_back(runner.Run(spec));
+        if (rounds.back().succeeded && rounds.back().consensus_document != nullptr) {
+          previous_document = rounds.back().consensus_document;
+        }
       }
-      const auto rounds = runner.Sweep(specs, torscenario::SweepOptions{threads});
 
-      const auto day =
-          torclients::SimulateClientLoad(clients, DayTimeline(rounds, clients),
-                                         static_cast<double>(hours) * 3600.0);
+      // The day through the consumption plane twice: all-full-document (the
+      // availability headline, unchanged semantics) and with a diff-capable
+      // steady-state cohort (the serving-cost headline).
+      const auto timeline = DayTimeline(rounds, clients);
+      const double window_seconds = static_cast<double>(hours) * 3600.0;
+      const auto day = torclients::SimulateClientLoad(clients, timeline, window_seconds);
+      torclients::ClientLoadSpec diff_clients = clients;
+      diff_clients.diff_capable_fraction = kDiffCapableFraction;
+      const auto diff_day = torclients::SimulateClientLoad(diff_clients, timeline, window_seconds);
+
       std::printf("  %-12s rounds: %s\n", protocol, RunString(rounds).c_str());
       PrintAvailability(day);
+      size_t diff_rounds = 0;
+      uint64_t full_size = 0;
+      uint64_t diff_size = 0;
+      for (const auto& round : rounds) {
+        if (round.succeeded && round.consensus_diff_size_bytes > 0) {
+          ++diff_rounds;
+          full_size = round.consensus_size_bytes;
+          diff_size = round.consensus_diff_size_bytes;
+        }
+      }
+      const double client_hours =
+          static_cast<double>(clients.client_count) * static_cast<double>(hours);
+      std::printf("    consensus wire      : %.1f KB full, %.1f KB diff (%zu of %d rounds "
+                  "diffed against the previous round's document)\n",
+                  static_cast<double>(full_size) / 1024.0, static_cast<double>(diff_size) / 1024.0,
+                  diff_rounds, hours);
+      std::printf("    serving cost        : %.2f KB/client-hour all-full-document, "
+                  "%.2f KB with a %.0f%% diff-capable cohort\n",
+                  day.served_bytes / client_hours / 1024.0,
+                  diff_day.served_bytes / client_hours / 1024.0, 100.0 * kDiffCapableFraction);
       std::fflush(stdout);
 
       if (std::string(protocol) == "current" && day.hard_down_seconds <= 0.0) {
         contrast_holds = false;
       }
       if (std::string(protocol) == "icps" && day.outage_seconds > 0.0) {
+        contrast_holds = false;
+      }
+      // Diff serving can only shrink the day's served bytes (documents
+      // without a diff are served in full to everyone).
+      if (diff_day.served_bytes > day.served_bytes * (1.0 + 1e-9)) {
         contrast_holds = false;
       }
     }

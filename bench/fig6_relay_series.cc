@@ -7,9 +7,11 @@
 // ... doubling up to N, capped at 256k): for each count it builds the 9-vote
 // workload (timed, so a workload-build regression is visible next to the
 // protocol costs), reports the vote wire size that drives every bandwidth
-// experiment, times the streaming codec both directions, and times the
-// flat-merge ComputeConsensus — the scaling run that interned-string
-// aggregation plus the zero-allocation codec made affordable at 256k relays.
+// experiment, times the streaming codec both directions, times the flat-merge
+// ComputeConsensus — the scaling run that interned-string aggregation plus
+// the zero-allocation codec made affordable at 256k relays — and prices the
+// consensus diff at typical churn (2% of rows touched per round): diff wire
+// bytes plus ComputeConsensusDiff / ApplyConsensusDiff throughput.
 // --smoke caps the axis at 4k with a single timing rep so CI stays fast.
 //
 // Usage: fig6_relay_series [--max-relays N] [--smoke]
@@ -22,6 +24,7 @@
 
 #include "src/common/table.h"
 #include "src/tordir/aggregate.h"
+#include "src/tordir/consensus_diff.h"
 #include "src/tordir/dirspec.h"
 #include "src/tordir/generator.h"
 
@@ -44,7 +47,8 @@ int RunRelayAxis(size_t max_relays, bool smoke) {
 
   std::printf("=== Figure 6 relay axis: directory cost up to %zu relays ===\n\n", max_relays);
   torbase::Table table({"Relays", "Build ms", "Vote KB", "Ser MB/s", "Parse MB/s",
-                        "Consensus relays", "Aggregate ms", "Relays/s"});
+                        "Consensus relays", "Aggregate ms", "Relays/s", "Diff KB",
+                        "Dcompute MB/s", "Dapply MB/s"});
   bool ok = true;
   for (size_t relays = 1000; relays <= max_relays; relays *= 2) {
     tordir::PopulationConfig config;
@@ -82,6 +86,32 @@ int RunRelayAxis(size_t max_relays, bool smoke) {
 
     ok = ok && consensus.relays.size() > relays * 9 / 10 &&
          consensus.relays.size() <= relays;
+
+    // The consensus diff at typical round-to-round churn: 1% of rows changed,
+    // 0.5% removed, 0.5% added. Throughput is against the full target
+    // document — the bytes a cache would otherwise serialize or re-fetch.
+    tordir::ConsensusChurnConfig churn_config;
+    churn_config.change_fraction = 0.01;
+    churn_config.remove_fraction = 0.005;
+    churn_config.add_fraction = 0.005;
+    churn_config.seed = 3;
+    const tordir::ConsensusDocument churned = tordir::ChurnConsensus(consensus, churn_config);
+    const std::string base_text = tordir::SerializeConsensus(consensus);
+    const std::string target_text = tordir::SerializeConsensus(churned);
+    std::string diff = tordir::ComputeConsensusDiff(consensus, churned);  // warm-up
+    const auto diff_compute_start = Clock::now();
+    for (int i = 0; i < reps; ++i) {
+      diff = tordir::ComputeConsensusDiff(consensus, churned);
+    }
+    const double diff_compute_seconds = SecondsSince(diff_compute_start) / reps;
+    auto patched = tordir::ApplyConsensusDiff(base_text, diff);  // warm-up
+    const auto diff_apply_start = Clock::now();
+    for (int i = 0; i < reps; ++i) {
+      patched = tordir::ApplyConsensusDiff(base_text, diff);
+    }
+    const double diff_apply_seconds = SecondsSince(diff_apply_start) / reps;
+    ok = ok && patched.ok() && *patched == target_text;
+
     table.AddRow({torbase::Table::Num(static_cast<double>(relays), 0),
                   torbase::Table::Num(build_seconds * 1e3, 1),
                   torbase::Table::Num(static_cast<double>(vote_bytes) / 1024.0, 1),
@@ -89,7 +119,12 @@ int RunRelayAxis(size_t max_relays, bool smoke) {
                   torbase::Table::Num(static_cast<double>(vote_bytes) / parse_seconds / 1e6, 0),
                   torbase::Table::Num(static_cast<double>(consensus.relays.size()), 0),
                   torbase::Table::Num(seconds * 1e3, 2),
-                  torbase::Table::Num(static_cast<double>(relays) / seconds, 0)});
+                  torbase::Table::Num(static_cast<double>(relays) / seconds, 0),
+                  torbase::Table::Num(static_cast<double>(diff.size()) / 1024.0, 1),
+                  torbase::Table::Num(
+                      static_cast<double>(target_text.size()) / diff_compute_seconds / 1e6, 0),
+                  torbase::Table::Num(
+                      static_cast<double>(target_text.size()) / diff_apply_seconds / 1e6, 0)});
   }
   table.Print(std::cout);
   if (!ok) {

@@ -13,6 +13,7 @@
 #include "src/sim/event_probe.h"
 #include "src/sim/simulator.h"
 #include "src/tordir/aggregate.h"
+#include "src/tordir/consensus_diff.h"
 #include "src/tordir/dirspec.h"
 #include "src/tordir/generator.h"
 
@@ -199,6 +200,93 @@ BENCHMARK(BM_TreeVoteDigest)
     ->Args({64000, 4})
     ->Args({256000, 0})
     ->Args({256000, 4});
+
+// The consensus diff codec (src/tordir/consensus_diff.h) over a relays x
+// churn grid. Bytes/s is against the full *target* document — the bytes the
+// diff saves a cache from serializing or a client from fetching. Churn is
+// per-mille of rows changed per round, with half that rate each added and
+// removed (so 10 = the live network's typical ~1%/hour, 100 = 10%, 0 = the
+// identity diff). Apply runs the serving path: target verification on.
+tordir::ConsensusDocument MakeBenchConsensus(size_t relays) {
+  tordir::PopulationConfig config;
+  config.relay_count = relays;
+  config.seed = 3;
+  const auto population = tordir::GeneratePopulation(config);
+  tordir::ConsensusDocument consensus =
+      tordir::ComputeConsensus(tordir::MakeAllVotes(9, population, config));
+  for (uint32_t a = 0; a < 9; ++a) {
+    torcrypto::Signature sig;
+    sig.signer = a;
+    sig.bytes.fill(static_cast<uint8_t>(0xB0 + a));
+    consensus.signatures.push_back(sig);
+  }
+  return consensus;
+}
+
+tordir::ConsensusDocument ChurnBenchConsensus(const tordir::ConsensusDocument& base,
+                                              int churn_per_mille) {
+  tordir::ConsensusChurnConfig churn;
+  churn.change_fraction = static_cast<double>(churn_per_mille) / 1000.0;
+  churn.remove_fraction = churn.change_fraction / 2.0;
+  churn.add_fraction = churn.change_fraction / 2.0;
+  churn.seed = 3;
+  return tordir::ChurnConsensus(base, churn);
+}
+
+void BM_ComputeConsensusDiff(benchmark::State& state) {
+  const tordir::ConsensusDocument base = MakeBenchConsensus(static_cast<size_t>(state.range(0)));
+  const tordir::ConsensusDocument next =
+      ChurnBenchConsensus(base, static_cast<int>(state.range(1)));
+  const size_t target_bytes = tordir::SerializeConsensus(next).size();
+  size_t diff_bytes = 0;
+  for (auto _ : state) {
+    const std::string diff = tordir::ComputeConsensusDiff(base, next);
+    diff_bytes = diff.size();
+    benchmark::DoNotOptimize(diff);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * target_bytes));
+  state.SetLabel("diff=" + std::to_string(diff_bytes) + "B");
+}
+BENCHMARK(BM_ComputeConsensusDiff)
+    ->ArgNames({"relays", "churn_pm"})
+    ->Args({8000, 0})
+    ->Args({8000, 10})
+    ->Args({8000, 100})
+    ->Args({64000, 0})
+    ->Args({64000, 10})
+    ->Args({64000, 100})
+    ->Args({256000, 0})
+    ->Args({256000, 10})
+    ->Args({256000, 100});
+
+void BM_ApplyConsensusDiff(benchmark::State& state) {
+  const tordir::ConsensusDocument base = MakeBenchConsensus(static_cast<size_t>(state.range(0)));
+  const tordir::ConsensusDocument next =
+      ChurnBenchConsensus(base, static_cast<int>(state.range(1)));
+  const std::string base_text = tordir::SerializeConsensus(base);
+  const std::string target_text = tordir::SerializeConsensus(next);
+  const std::string diff = tordir::ComputeConsensusDiff(base, next);
+  for (auto _ : state) {
+    auto patched = tordir::ApplyConsensusDiff(base_text, diff);
+    benchmark::DoNotOptimize(patched);
+  }
+  const auto patched = tordir::ApplyConsensusDiff(base_text, diff);
+  if (!patched.ok() || *patched != target_text) {
+    state.SkipWithError("patched output is not byte-identical to the target");
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * target_text.size()));
+}
+BENCHMARK(BM_ApplyConsensusDiff)
+    ->ArgNames({"relays", "churn_pm"})
+    ->Args({8000, 0})
+    ->Args({8000, 10})
+    ->Args({8000, 100})
+    ->Args({64000, 0})
+    ->Args({64000, 10})
+    ->Args({64000, 100})
+    ->Args({256000, 0})
+    ->Args({256000, 10})
+    ->Args({256000, 100});
 
 // The flat-merge aggregation hot path; items/s is relays aggregated per
 // second (the `aggregate` row of BENCH_sweep.json tracks the same number at

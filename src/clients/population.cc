@@ -13,6 +13,7 @@ struct ServedDoc {
   double fresh_until = 0.0;
   double valid_until = 0.0;
   double size_bytes = 0.0;
+  double diff_size_bytes = 0.0;
 };
 
 torbase::TimePoint ToMicros(double seconds) {
@@ -65,13 +66,14 @@ ClientAvailability SimulateClientLoad(const ClientLoadSpec& spec,
     // The previous period's document: already mirrored at t = 0, fresh until
     // this run's consensus was due (the vote_lead clock convention), valid
     // for the remaining validity_periods - 1 periods.
-    docs.push_back(ServedDoc{0.0, lead,
-                             lead + (spec.validity_periods - 1) * period, default_size});
+    docs.push_back(ServedDoc{0.0, lead, lead + (spec.validity_periods - 1) * period,
+                             default_size, /*diff_size_bytes=*/0.0});
   }
   for (const PublishedDocument& doc : documents) {
     docs.push_back(ServedDoc{doc.published_seconds + mirror, doc.fresh_until_seconds,
                              doc.valid_until_seconds,
-                             doc.size_bytes > 0.0 ? doc.size_bytes : default_size});
+                             doc.size_bytes > 0.0 ? doc.size_bytes : default_size,
+                             doc.diff_size_bytes});
   }
   std::sort(docs.begin(), docs.end(),
             [](const ServedDoc& a, const ServedDoc& b) { return a.available < b.available; });
@@ -123,6 +125,8 @@ ClientAvailability SimulateClientLoad(const ClientLoadSpec& spec,
     double valid_max = -1.0;
     double fresh_size = 0.0;
     double valid_size = 0.0;
+    double fresh_diff = 0.0;
+    double valid_diff = 0.0;
     for (const ServedDoc& doc : docs) {
       if (doc.available > t0) {
         break;  // sorted by availability
@@ -130,20 +134,25 @@ ClientAvailability SimulateClientLoad(const ClientLoadSpec& spec,
       if (doc.fresh_until > fresh_max) {
         fresh_max = doc.fresh_until;
         fresh_size = doc.size_bytes;
+        fresh_diff = doc.diff_size_bytes;
       }
       if (doc.valid_until > valid_max) {
         valid_max = doc.valid_until;
         valid_size = doc.size_bytes;
+        valid_diff = doc.diff_size_bytes;
       }
     }
     AvailabilitySlice::State state = AvailabilitySlice::State::kDown;
     double serve_size = 0.0;
+    double serve_diff = 0.0;
     if (fresh_max > t0) {
       state = AvailabilitySlice::State::kFresh;
       serve_size = fresh_size;
+      serve_diff = fresh_diff;
     } else if (valid_max > t0) {
       state = AvailabilitySlice::State::kStale;
       serve_size = valid_size;
+      serve_diff = valid_diff;
     }
 
     const double steady = steady_rate * length;
@@ -175,11 +184,34 @@ ClientAvailability SimulateClientLoad(const ClientLoadSpec& spec,
       // tier's aggregate schedule over the slice.
       const double capacity_bits =
           static_cast<double>(spec.cache_count) * cache.CapacityDuring(ToMicros(t0), ToMicros(t1));
-      const double capacity_fetches = capacity_bits / (serve_size * 8.0);
-      const double steady_served = std::min(steady, capacity_fetches);
-      const double boot_offered = boot + backlog;
-      const double boot_served = std::min(boot_offered, capacity_fetches - steady_served);
-      backlog = boot_offered - boot_served;
+      double steady_served;
+      double boot_served;
+      if (spec.diff_capable_fraction <= 0.0) {
+        // The pre-diff arithmetic, bit for bit: with no diff cohort the
+        // per-fetch size is uniform and capacity divides once.
+        const double capacity_fetches = capacity_bits / (serve_size * 8.0);
+        steady_served = std::min(steady, capacity_fetches);
+        const double boot_offered = boot + backlog;
+        boot_served = std::min(boot_offered, capacity_fetches - steady_served);
+        backlog = boot_offered - boot_served;
+        slice.served_bytes = (steady_served + boot_served) * serve_size;
+      } else {
+        // Diff-capable steady refetchers transfer the served document's diff
+        // when it has one; everyone else — the rest of the steady cohort and
+        // every bootstrap — transfers the full document. Capacity is spent in
+        // bytes, steady demand first (same priority as above).
+        const double diff_size = serve_diff > 0.0 ? serve_diff : serve_size;
+        const double steady_avg = spec.diff_capable_fraction * diff_size +
+                                  (1.0 - spec.diff_capable_fraction) * serve_size;
+        const double capacity_bytes = capacity_bits / 8.0;
+        steady_served = std::min(steady, capacity_bytes / steady_avg);
+        const double boot_offered = boot + backlog;
+        boot_served =
+            std::min(boot_offered, (capacity_bytes - steady_served * steady_avg) / serve_size);
+        backlog = boot_offered - boot_served;
+        slice.served_bytes = steady_served * steady_avg + boot_served * serve_size;
+      }
+      out.served_bytes += slice.served_bytes;
       const double served = steady_served + boot_served;
       slice.unserved_fetches = steady - steady_served;
       out.unserved_fetches += steady - steady_served;

@@ -85,6 +85,16 @@ struct ClientLoadSpec {
   // (the demand integral needs a transfer size even when the round failed).
   // 0 = use the first real document's size, or 1 MB if there is none.
   double consensus_size_hint_bytes = 0.0;
+
+  // Fraction of steady-state refetchers that fetch a consensus *diff*
+  // (src/tordir/consensus_diff.h) instead of the full document when the
+  // served document carries one (PublishedDocument::diff_size_bytes > 0).
+  // Bootstrapping clients always need the full document, and documents
+  // without a diff (the prior-period document, failed rounds) are served in
+  // full to everyone — both conservative choices. 0 disables diff serving
+  // and keeps the served-fetch arithmetic bit-identical to the pre-diff
+  // model.
+  double diff_capable_fraction = 0.0;
 };
 
 // One consensus document as the cache tier sees it, in virtual seconds
@@ -95,6 +105,9 @@ struct PublishedDocument {
   double fresh_until_seconds = 0.0;
   double valid_until_seconds = 0.0;
   double size_bytes = 0.0;
+  // Wire size of the diff from the previously held document to this one;
+  // 0 = no diff available, diff-capable clients fetch the full document.
+  double diff_size_bytes = 0.0;
 };
 
 // One piecewise-constant segment of the availability timeline.
@@ -112,6 +125,9 @@ struct AvailabilitySlice {
   double fresh_fetches = 0.0;
   double stale_fetches = 0.0;
   double unserved_fetches = 0.0;
+  // Bytes the cache tier transferred in this slice (diff-capable steady
+  // refetchers transfer the served document's diff when it has one).
+  double served_bytes = 0.0;
   // Bootstrap retry backlog at the end of the slice.
   double backlog_fetches = 0.0;
 };
@@ -143,6 +159,10 @@ struct ClientAvailability {
 
   // High-water mark of bootstrapping clients blocked waiting for a document.
   double peak_backlog_fetches = 0.0;
+
+  // Total bytes the cache tier transferred over the window (the served-bytes
+  // integral; divide by client-hours for the serving-cost headline).
+  double served_bytes = 0.0;
 
   std::vector<AvailabilitySlice> timeline;
 };

@@ -10,6 +10,7 @@
 #include "src/crypto/sha256_batch.h"
 #include "src/protocols/byzantine.h"
 #include "src/protocols/directory_protocol.h"
+#include "src/tordir/consensus_diff.h"
 #include "src/tordir/dirspec.h"
 #include "src/tordir/health_monitor.h"
 
@@ -127,15 +128,33 @@ void AnalyzeClientLoad(const ScenarioSpec& spec, const torproto::PublishedConsen
   std::vector<torclients::PublishedDocument> documents;
   if (published.document != nullptr) {
     result.consensus_size_bytes = tordir::SerializeConsensus(*published.document).size();
+    if (spec.previous_consensus != nullptr) {
+      result.consensus_diff_size_bytes =
+          tordir::ComputeConsensusDiff(*spec.previous_consensus, *published.document).size();
+    }
+    // Retain a flat copy for the next round of a stitched replay (the actor
+    // owning `published.document` dies with the harness). Interned relay
+    // strings make this cheap: the copy shares every interned id.
+    result.consensus_document =
+        std::make_shared<const tordir::ConsensusDocument>(*published.document);
     documents.push_back(torclients::MapToTimeline(
         /*round_start_seconds=*/0.0, torbase::ToSeconds(published.published_at),
         published.document->valid_after, published.document->fresh_until,
         published.document->valid_until, static_cast<double>(result.consensus_size_bytes),
         load.vote_lead));
+    documents.back().diff_size_bytes = static_cast<double>(result.consensus_diff_size_bytes);
   }
 
   const double window =
       std::min(torbase::ToSeconds(spec.horizon), torbase::ToSeconds(load.evaluation_window));
+  // The full-document counterfactual only diverges when a diff cohort exists
+  // and a diff was actually served; copy the documents before they are moved.
+  const bool diff_serving =
+      load.diff_capable_fraction > 0.0 && result.consensus_diff_size_bytes > 0;
+  std::vector<torclients::PublishedDocument> full_doc_documents;
+  if (diff_serving) {
+    full_doc_documents = documents;
+  }
   const torclients::ClientAvailability availability =
       torclients::SimulateClientLoad(load, std::move(documents), window);
 
@@ -152,6 +171,24 @@ void AnalyzeClientLoad(const ScenarioSpec& spec, const torproto::PublishedConsen
   out.hard_down_seconds = availability.hard_down_seconds;
   out.hard_down_start_seconds = availability.hard_down_start_seconds;
   out.peak_backlog_fetches = availability.peak_backlog_fetches;
+  out.served_bytes = availability.served_bytes;
+
+  const double client_hours =
+      static_cast<double>(load.client_count) * window / 3600.0;
+  if (client_hours > 0.0) {
+    out.bytes_per_client_hour = availability.served_bytes / client_hours;
+    if (diff_serving) {
+      // Same run, diff serving disabled: what the cache tier would have
+      // transferred if every fetch were the full document.
+      torclients::ClientLoadSpec full_load = load;
+      full_load.diff_capable_fraction = 0.0;
+      const torclients::ClientAvailability full =
+          torclients::SimulateClientLoad(full_load, std::move(full_doc_documents), window);
+      out.full_doc_bytes_per_client_hour = full.served_bytes / client_hours;
+    } else {
+      out.full_doc_bytes_per_client_hour = out.bytes_per_client_hour;
+    }
+  }
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "src/common/time.h"
 #include "src/protocols/byzantine.h"
 #include "src/tordir/health_monitor.h"
+#include "src/tordir/vote.h"
 
 namespace torscenario {
 
@@ -84,6 +85,16 @@ struct ScenarioSpec {
   // analysis only; never perturbs the simulation.
   bool monitor_health = true;
 
+  // The previous round's published consensus, when this run is one round of a
+  // stitched multi-round timeline (client_availability's 24-hour replay).
+  // When set and this run publishes, the result reports the wire size of the
+  // consensus diff (src/tordir/consensus_diff.h) from this document to the
+  // published one next to the full size, and the client plane's diff-capable
+  // cohort is served at that size. Null (the default) = no diff baseline; the
+  // run behaves exactly as before. shared_ptr so sweeps share one immutable
+  // document across cells.
+  std::shared_ptr<const tordir::ConsensusDocument> previous_consensus;
+
   // Per-authority byzantine behaviors (empty = all honest). Implemented as a
   // faulty-materials wrapper around the spec's protocol
   // (torproto::ByzantineProtocol), so it composes with any registered
@@ -114,6 +125,15 @@ struct ClientAvailabilityResult {
   double hard_down_start_seconds = std::numeric_limits<double>::quiet_NaN();
   // High-water mark of bootstrapping clients blocked waiting for a document.
   double peak_backlog_fetches = 0.0;
+
+  // Total bytes the cache tier transferred over the evaluation window, and
+  // the serving-cost headline: bytes per client-hour under the spec's
+  // diff_capable_fraction, and the full-document counterfactual (the same
+  // run with diff serving disabled). Equal when no diff cohort exists; NaN
+  // when there was no demand.
+  double served_bytes = 0.0;
+  double bytes_per_client_hour = std::numeric_limits<double>::quiet_NaN();
+  double full_doc_bytes_per_client_hour = std::numeric_limits<double>::quiet_NaN();
 };
 
 struct ScenarioResult {
@@ -144,6 +164,13 @@ struct ScenarioResult {
   // Serialized wire size of the published document; computed only when the
   // client plane is enabled (0 otherwise — serialization is not free).
   uint64_t consensus_size_bytes = 0;
+  // Wire size of the consensus diff from spec.previous_consensus to the
+  // published document; 0 when either is absent (no diff was computed).
+  uint64_t consensus_diff_size_bytes = 0;
+  // A flat copy of the published document, retained only when the client
+  // plane is enabled — the diff baseline for the *next* round of a stitched
+  // multi-round replay. Null when the run failed or the plane was off.
+  std::shared_ptr<const tordir::ConsensusDocument> consensus_document;
 
   // Populated when spec.client_load.client_count > 0.
   ClientAvailabilityResult client_availability;
@@ -186,7 +213,10 @@ inline bool BitIdentical(const ClientAvailabilityResult& a, const ClientAvailabi
          same_double(a.outage_start_seconds, b.outage_start_seconds) &&
          same_double(a.hard_down_seconds, b.hard_down_seconds) &&
          same_double(a.hard_down_start_seconds, b.hard_down_start_seconds) &&
-         same_double(a.peak_backlog_fetches, b.peak_backlog_fetches);
+         same_double(a.peak_backlog_fetches, b.peak_backlog_fetches) &&
+         same_double(a.served_bytes, b.served_bytes) &&
+         same_double(a.bytes_per_client_hour, b.bytes_per_client_hour) &&
+         same_double(a.full_doc_bytes_per_client_hour, b.full_doc_bytes_per_client_hour);
 }
 
 inline bool BitIdentical(const ScenarioResult& a, const ScenarioResult& b) {
@@ -203,6 +233,10 @@ inline bool BitIdentical(const ScenarioResult& a, const ScenarioResult& b) {
          a.consensus_fresh_until == b.consensus_fresh_until &&
          a.consensus_valid_until == b.consensus_valid_until &&
          a.consensus_size_bytes == b.consensus_size_bytes &&
+         a.consensus_diff_size_bytes == b.consensus_diff_size_bytes &&
+         (a.consensus_document == b.consensus_document ||
+          (a.consensus_document != nullptr && b.consensus_document != nullptr &&
+           *a.consensus_document == *b.consensus_document)) &&
          BitIdentical(a.client_availability, b.client_availability) &&
          a.health_alerts == b.health_alerts && a.byzantine_count == b.byzantine_count &&
          a.faults_detected == b.faults_detected &&

@@ -1083,6 +1083,47 @@ torcrypto::Digest256 TreeConsensusDigest(const ConsensusDocument& consensus,
   return torcrypto::Digest256(hash.Finish());
 }
 
+torcrypto::Digest256 TreeSignedConsensusDigest(const ConsensusDocument& consensus,
+                                               torbase::ThreadPool* pool) {
+  if (pool != nullptr) {
+    return torcrypto::Digest256(torcrypto::Sha256TreeDigest(SerializeConsensus(consensus), pool));
+  }
+  torcrypto::Sha256TreeHasher hash;
+  TreeDigestSinkBackend backend{hash};
+  BufferedTextSink<TreeDigestSinkBackend> sink(backend);
+  WriteConsensusUnsigned(sink, consensus);
+  WriteSignatureLines(sink, consensus.signatures);
+  sink.Flush();
+  return torcrypto::Digest256(hash.Finish());
+}
+
+namespace {
+
+// Backend appending onto an existing string: the fragment writers below add
+// to a diff under construction rather than owning the whole output, so the
+// cursor sink (which resizes its string up front) does not fit.
+struct StringAppendBackend {
+  std::string& out;
+  void Write(const char* data, size_t n) { out.append(data, n); }
+};
+
+}  // namespace
+
+void AppendRelayRowText(std::string& out, const RelayStatus& relay, bool include_measured) {
+  StringAppendBackend backend{out};
+  BufferedTextSink<StringAppendBackend> sink(backend);
+  AppendRelay(sink, StringPool::Global(), FlagsTable::Get(), relay, include_measured);
+  sink.Flush();
+}
+
+void AppendSignatureLinesText(std::string& out,
+                              const std::vector<torcrypto::Signature>& signatures) {
+  StringAppendBackend backend{out};
+  BufferedTextSink<StringAppendBackend> sink(backend);
+  WriteSignatureLines(sink, signatures);
+  sink.Flush();
+}
+
 size_t EstimateVoteSizeBytes(size_t relay_count) {
   // Matches the serialization above: ~100 B "r" + ~40 B "s" + ~16 B "v" +
   // ~120 B "pr" + ~30 B "w" + ~20 B "p" + ~67 B "m" per relay (~390-405 B

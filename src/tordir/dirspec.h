@@ -75,6 +75,25 @@ torcrypto::Digest256 TreeVoteDigest(const VoteDocument& vote, torbase::ThreadPoo
 torcrypto::Digest256 TreeConsensusDigest(const ConsensusDocument& consensus,
                                          torbase::ThreadPool* pool = nullptr);
 
+// Tree digest of the *signed* consensus bytes (exactly what SerializeConsensus
+// emits, signature lines included). This is the framing digest the consensus
+// diff codec (src/tordir/consensus_diff.h) pins base and target documents
+// with, so a cache can verify a patched document against the digest without
+// reserializing anything. Distinct domain from TreeConsensusDigest, which
+// covers only the unsigned body.
+torcrypto::Digest256 TreeSignedConsensusDigest(const ConsensusDocument& consensus,
+                                               torbase::ThreadPool* pool = nullptr);
+
+// --- canonical fragment writers ---------------------------------------------
+// Append the exact bytes the serializers above would emit for one relay row
+// group (r/s/[v]/[pr]/w/p/m lines; include_measured selects the vote form) or
+// for a document's "directory-signature" tail. The diff codec encodes
+// replacement rows with these so a patched document splices byte-identically
+// into the full serialization.
+void AppendRelayRowText(std::string& out, const RelayStatus& relay, bool include_measured);
+void AppendSignatureLinesText(std::string& out,
+                              const std::vector<torcrypto::Signature>& signatures);
+
 // Approximate serialized vote size in bytes for `relay_count` relays, without
 // building the document. Used by benches for analytic sanity checks.
 size_t EstimateVoteSizeBytes(size_t relay_count);

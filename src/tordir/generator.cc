@@ -221,6 +221,59 @@ std::vector<VoteDocument> MakeAllVotes(uint32_t authority_count,
   return votes;
 }
 
+ConsensusDocument ChurnConsensus(const ConsensusDocument& base,
+                                 const ConsensusChurnConfig& config) {
+  torbase::Rng rng(config.seed ^ 0x436f6e734368726eull);  // "ConsChrn"
+  const uint64_t period =
+      base.fresh_until > base.valid_after ? base.fresh_until - base.valid_after : 3600;
+
+  ConsensusDocument next;
+  next.valid_after = base.valid_after + period;
+  next.fresh_until = base.fresh_until + period;
+  next.valid_until = base.valid_until + period;
+  next.vote_count = base.vote_count;
+  next.signatures = base.signatures;
+
+  next.relays.reserve(base.relays.size() + base.relays.size() / 8);
+  for (const RelayStatus& relay : base.relays) {
+    if (rng.Bernoulli(config.remove_fraction)) {
+      continue;
+    }
+    RelayStatus row = relay;
+    if (rng.Bernoulli(config.change_fraction)) {
+      // A re-measured bandwidth and the occasional flag transition: the two
+      // mutations real consensuses churn on hour over hour.
+      row.bandwidth = row.bandwidth + 1 + rng.UniformU64(row.bandwidth / 8 + 16);
+      if (rng.Bernoulli(0.5)) {
+        row.SetFlag(RelayFlag::kStable, !row.HasFlag(RelayFlag::kStable));
+      }
+    }
+    next.relays.push_back(std::move(row));
+  }
+
+  const size_t add_count =
+      static_cast<size_t>(std::llround(config.add_fraction * base.relays.size()));
+  if (add_count > 0) {
+    // Joiners derive from a distinct seed domain, so their fingerprints never
+    // collide with the base population's (both are SHA-256 outputs; the
+    // dedupe below keeps the document canonical even if they somehow did).
+    PopulationConfig add_config;
+    add_config.relay_count = add_count;
+    add_config.seed = config.seed ^ 0x41646452656c6179ull;  // "AddRelay"
+    for (RelayStatus& relay : GeneratePopulation(add_config)) {
+      relay.published = next.valid_after;
+      next.relays.push_back(std::move(relay));
+    }
+    next.SortRelays();
+    next.relays.erase(std::unique(next.relays.begin(), next.relays.end(),
+                                  [](const RelayStatus& a, const RelayStatus& b) {
+                                    return a.fingerprint == b.fingerprint;
+                                  }),
+                      next.relays.end());
+  }
+  return next;
+}
+
 std::vector<RelayCountPoint> RelayCountSeries() {
   // 26 monthly points, September 2022 .. October 2024: a gentle upward trend
   // with a seasonal swing and deterministic jitter, renormalized so the mean

@@ -62,6 +62,22 @@ std::vector<VoteDocument> MakeAllVotes(uint32_t authority_count,
                                        const PopulationConfig& population_config,
                                        const VoteViewConfig& view_config = {});
 
+// --- synthetic round-to-round churn ----------------------------------------
+// Deterministic consensus churn for the diff codec's benches and tests: the
+// next round's document differs from `base` by a seeded set of changed,
+// removed and added relay rows, with the validity window advanced by one
+// directory period. Live-network churn is a few percent of rows per hour;
+// change_fraction 0.01-0.03 reproduces that regime.
+struct ConsensusChurnConfig {
+  double change_fraction = 0.01;  // rows whose bandwidth/flags change
+  double remove_fraction = 0.0;   // rows leaving the network
+  double add_fraction = 0.0;      // new rows joining, as a fraction of base rows
+  uint64_t seed = 1;
+};
+
+ConsensusDocument ChurnConsensus(const ConsensusDocument& base,
+                                 const ConsensusChurnConfig& config);
+
 // --- Figure 6: relay count over time ---------------------------------------
 struct RelayCountPoint {
   std::string month;  // "2022-09" .. "2024-10"

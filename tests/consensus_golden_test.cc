@@ -13,6 +13,7 @@
 #include <random>
 
 #include "src/tordir/aggregate.h"
+#include "src/tordir/consensus_diff.h"
 #include "src/tordir/dirspec.h"
 #include "src/tordir/generator.h"
 #include "src/tordir/string_pool.h"
@@ -218,6 +219,41 @@ TEST(ConsensusGoldenTest, DuplicateFingerprintEndpointTieIsOrderIndependent) {
     const auto consensus = ComputeConsensus(std::vector<VoteDocument>{vote}, params);
     ASSERT_EQ(consensus.relays.size(), 1u);
     EXPECT_EQ(consensus.relays[0].address, "10.0.0.1") << "swapped=" << swapped;
+  }
+}
+
+// Consensus-diff goldens over the same fixtures: the diff of a deterministic
+// churned successor is pinned by digest, and applying it reproduces the
+// successor's serialization byte for byte. Any change to the diff wire format
+// or to ChurnConsensus's row selection shows up here.
+const char* const kGoldenDiffDigests[] = {
+    "9e95539e45c124e9ee8987c3d82ed837aabbf1276c3994f3b92f52be99d4fdab",
+    "96194e0b0dfec4f92b0fd6c1ba15c19611a99532ac5dd5336e7449df0bfc337d",
+};
+
+TEST(ConsensusGoldenTest, ChurnedConsensusDiffsMatchPinnedDigests) {
+  for (size_t i = 0; i < std::size(kGoldenDiffDigests); ++i) {
+    ConsensusDocument base = GoldenConsensus(kGoldenCases[i]);
+    for (uint32_t a = 0; a < kGoldenCases[i].authority_count; ++a) {
+      torcrypto::Signature sig;
+      sig.signer = a;
+      sig.bytes.fill(static_cast<uint8_t>(0xA0 + a));
+      base.signatures.push_back(sig);
+    }
+    ConsensusChurnConfig churn;
+    churn.change_fraction = 0.02;
+    churn.remove_fraction = 0.01;
+    churn.add_fraction = 0.01;
+    churn.seed = kGoldenCases[i].seed;
+    const ConsensusDocument next = ChurnConsensus(base, churn);
+
+    const std::string diff = ComputeConsensusDiff(base, next);
+    EXPECT_EQ(torcrypto::Digest256::Of(diff).ToHex(), kGoldenDiffDigests[i])
+        << "relays=" << kGoldenCases[i].relay_count;
+    const auto patched = ApplyConsensusDiff(SerializeConsensus(base), diff);
+    ASSERT_TRUE(patched.ok()) << patched.status().ToString();
+    EXPECT_EQ(*patched, SerializeConsensus(next))
+        << "relays=" << kGoldenCases[i].relay_count;
   }
 }
 

@@ -270,6 +270,20 @@ TEST(ScenarioTest, ParallelSweepIsBitIdenticalToSerial) {
   attack_config.end = Minutes(4);
   const auto rolling = std::make_shared<torattack::RollingAttack>(attack_config);
 
+  // Diff-enabled cells need a previous-round document; one healthy prep run
+  // per protocol supplies it (results retain the published consensus whenever
+  // the client plane is on).
+  std::map<std::string, std::shared_ptr<const tordir::ConsensusDocument>> baselines;
+  {
+    ScenarioRunner prep;
+    for (const char* protocol : {"current", "icps"}) {
+      ScenarioSpec spec = SmallSpec(protocol);
+      spec.client_load.client_count = 1;
+      baselines[protocol] = prep.Run(spec).consensus_document;
+      ASSERT_NE(baselines[protocol], nullptr) << protocol;
+    }
+  }
+
   std::vector<ScenarioSpec> specs;
   for (const char* protocol : {"current", "icps"}) {
     for (size_t relays : {200, 300}) {
@@ -294,8 +308,11 @@ TEST(ScenarioTest, ParallelSweepIsBitIdenticalToSerial) {
         if (variant == 2) {
           // Client load exercises the consumption-plane fields (availability
           // metrics, publish metadata, consensus size) under the identity
-          // contract too.
+          // contract too — with diff serving on, so the diff codec's size
+          // accounting and the byte-denominated capacity split are covered.
           spec.client_load.client_count = 2'000'000;
+          spec.client_load.diff_capable_fraction = 0.8;
+          spec.previous_consensus = baselines[protocol];
         }
         specs.push_back(std::move(spec));
       }
@@ -523,7 +540,7 @@ TEST(ByzantineScenarioTest, IcpsStaysLiveBelowOneThirdFaulty) {
 // the comparison; (2) the size pin makes adding a field without revisiting
 // BitIdentical (and this test) a compile error on the reference ABI.
 #if defined(__GLIBCXX__) && defined(__x86_64__) && !defined(_GLIBCXX_DEBUG)
-static_assert(sizeof(ScenarioResult) == 288 && sizeof(ClientAvailabilityResult) == 96,
+static_assert(sizeof(ScenarioResult) == 336 && sizeof(ClientAvailabilityResult) == 120,
               "ScenarioResult changed shape: extend BitIdentical (scenario.h), the mutation "
               "sweep in ResultFieldListIsCoveredByBitIdentical, then update these constants");
 #endif
@@ -544,6 +561,12 @@ TEST(ScenarioResultContractTest, ResultFieldListIsCoveredByBitIdentical) {
     r.consensus_fresh_until = 5;
     r.consensus_valid_until = 6;
     r.consensus_size_bytes = 7;
+    r.consensus_diff_size_bytes = 70;
+    {
+      auto doc = std::make_shared<tordir::ConsensusDocument>();
+      doc->valid_after = 4;
+      r.consensus_document = doc;
+    }
     r.client_availability.enabled = true;
     r.client_availability.total_fetches = 8.0;
     r.client_availability.fresh_fetches = 9.0;
@@ -556,6 +579,9 @@ TEST(ScenarioResultContractTest, ResultFieldListIsCoveredByBitIdentical) {
     r.client_availability.hard_down_seconds = 15.0;
     r.client_availability.hard_down_start_seconds = 16.0;
     r.client_availability.peak_backlog_fetches = 17.0;
+    r.client_availability.served_bytes = 20.0;
+    r.client_availability.bytes_per_client_hour = 21.0;
+    r.client_availability.full_doc_bytes_per_client_hour = 22.0;
     r.health_alerts = {
         tordir::HealthAlert{tordir::HealthAlertKind::kNoConsensus, {1}, "detail", 18.0}};
     r.byzantine_count = 2;
@@ -587,6 +613,13 @@ TEST(ScenarioResultContractTest, ResultFieldListIsCoveredByBitIdentical) {
       [](ScenarioResult& r) { r.consensus_fresh_until += 1; },
       [](ScenarioResult& r) { r.consensus_valid_until += 1; },
       [](ScenarioResult& r) { r.consensus_size_bytes += 1; },
+      [](ScenarioResult& r) { r.consensus_diff_size_bytes += 1; },
+      [](ScenarioResult& r) {
+        auto doc = std::make_shared<tordir::ConsensusDocument>(*r.consensus_document);
+        doc->valid_after += 1;
+        r.consensus_document = doc;
+      },
+      [](ScenarioResult& r) { r.consensus_document = nullptr; },
       [](ScenarioResult& r) { r.client_availability.enabled = false; },
       [](ScenarioResult& r) { r.client_availability.total_fetches += 1; },
       [](ScenarioResult& r) { r.client_availability.fresh_fetches += 1; },
@@ -599,6 +632,9 @@ TEST(ScenarioResultContractTest, ResultFieldListIsCoveredByBitIdentical) {
       [](ScenarioResult& r) { r.client_availability.hard_down_seconds += 1; },
       [](ScenarioResult& r) { r.client_availability.hard_down_start_seconds += 1; },
       [](ScenarioResult& r) { r.client_availability.peak_backlog_fetches += 1; },
+      [](ScenarioResult& r) { r.client_availability.served_bytes += 1; },
+      [](ScenarioResult& r) { r.client_availability.bytes_per_client_hour += 1; },
+      [](ScenarioResult& r) { r.client_availability.full_doc_bytes_per_client_hour += 1; },
       [](ScenarioResult& r) { r.health_alerts[0].detail += "x"; },
       [](ScenarioResult& r) { r.health_alerts[0].first_evidence_seconds += 1; },
       [](ScenarioResult& r) { r.health_alerts.clear(); },
