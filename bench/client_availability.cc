@@ -3,24 +3,19 @@
 // and Figure 11's full knock-out, starting at hour 2 and never stopping) and
 // report the outage a population of millions of clients actually experiences.
 //
-// Each hourly round is one ScenarioSpec (all rounds share the runner's cached
-// workload and run as one parallel sweep); the rounds' publish metadata is
-// stitched into a day-long timeline and fed to the consumption plane
-// (src/clients), which integrates 5M clients' fetch demand against the
-// directory-cache tier in closed form.
-//
-// Each round also carries the previous round's *actual published document* as
-// its diff baseline (ScenarioSpec::previous_consensus — round N diffs against
-// round N−1's retained ScenarioResult::consensus_document, not against a
-// re-materialized workload), so the with-diffs serving series below is honest:
-// the day is replayed twice through the consumption plane, once all-full-
-// document and once with a diff-capable steady-state cohort, and the
-// bytes-per-client-hour contrast is printed side by side.
+// The day is one TimelineSpec: the attack shape is a fault-calendar entry
+// spanning hours 2..end, and ScenarioRunner::RunTimeline does the rest —
+// fans the hourly rounds onto the sweep pool (bit-identical to a serial
+// replay at any --threads), stitches the published documents into the
+// day-long diff chain (round N diffs against the last round that actually
+// published, not a re-materialized workload), and integrates 5M clients'
+// fetch demand against the directory-cache tier in closed form, once with
+// the spec's diff-capable steady-state cohort and once as the all-full-
+// document counterfactual.
 //
 // Usage: client_availability [--quick] [--threads N]
 //   --quick      12 hours, 1,000 relays, flood shape only (CI smoke)
-//   --threads N  accepted for compatibility; the chained replay (round N
-//                needs round N−1's document) runs cells sequentially
+//   --threads N  sweep-pool width for the hourly rounds (default: hardware)
 //
 // Exit code is non-zero if the headline contrast disappears: the deployed
 // protocol must hard-down its clients, ICPS must keep them 100% fresh —
@@ -36,6 +31,7 @@
 #include "src/clients/population.h"
 #include "src/common/thread_pool.h"
 #include "src/scenario/runner.h"
+#include "src/scenario/timeline.h"
 
 namespace {
 
@@ -48,13 +44,6 @@ struct AttackShape {
 // cost replay (real Tor clients have fetched consensus diffs since 0.3.1).
 constexpr double kDiffCapableFraction = 0.8;
 
-torclients::ClientLoadSpec DaySpec(int hours) {
-  torclients::ClientLoadSpec clients;
-  clients.client_count = 5'000'000;
-  clients.evaluation_window = torbase::Hours(static_cast<uint64_t>(hours));
-  return clients;
-}
-
 std::string RunString(const std::vector<torscenario::ScenarioResult>& rounds) {
   std::string s;
   for (const auto& round : rounds) {
@@ -63,30 +52,7 @@ std::string RunString(const std::vector<torscenario::ScenarioResult>& rounds) {
   return s;
 }
 
-// Stitches each round's publish metadata into the day-long virtual timeline:
-// round h starts at h * 3600 s, and its document's unix validity window is
-// mapped through the vote-lead clock convention (torclients::MapToTimeline).
-// Rounds that published with a diff baseline carry their diff wire size, so
-// the consumption plane can serve the diff-capable cohort at that size.
-std::vector<torclients::PublishedDocument> DayTimeline(
-    const std::vector<torscenario::ScenarioResult>& rounds,
-    const torclients::ClientLoadSpec& clients) {
-  std::vector<torclients::PublishedDocument> documents;
-  for (size_t hour = 0; hour < rounds.size(); ++hour) {
-    const auto& round = rounds[hour];
-    if (!round.succeeded) {
-      continue;
-    }
-    documents.push_back(torclients::MapToTimeline(
-        static_cast<double>(hour) * 3600.0, round.consensus_published_seconds,
-        round.consensus_valid_after, round.consensus_fresh_until, round.consensus_valid_until,
-        static_cast<double>(round.consensus_size_bytes), clients.vote_lead));
-    documents.back().diff_size_bytes = static_cast<double>(round.consensus_diff_size_bytes);
-  }
-  return documents;
-}
-
-void PrintAvailability(const torclients::ClientAvailability& day) {
+void PrintAvailability(const torscenario::ClientAvailabilityResult& day) {
   const double total = day.total_fetches;
   std::printf("    demand served fresh : %6.2f %%  (%.0f of %.0f fetches)\n",
               100.0 * day.fresh_fetches / total, day.fresh_fetches, total);
@@ -123,105 +89,95 @@ int main(int argc, char** argv) {
     }
   }
 
-  (void)threads;  // the chained replay is inherently sequential
-  const int hours = quick ? 12 : 24;
+  const uint32_t hours = quick ? 12 : 24;
   const size_t relays = quick ? 1000 : 2000;
-  constexpr int kAttackFromHour = 2;
-  const torclients::ClientLoadSpec clients = DaySpec(hours);
+  constexpr uint32_t kAttackFromHour = 2;
 
   std::vector<AttackShape> shapes = {{"5-min flood @ 0.5 Mbit/s (Fig. 1)", torattack::kUnderAttackBps}};
   if (!quick) {
     shapes.push_back({"5-min knock-out @ 0 bit/s (Fig. 11)", 0.0});
   }
 
-  std::printf("=== Client-visible availability: %d hourly rounds, attack from hour %d ===\n",
+  torclients::ClientLoadSpec clients;
+  clients.client_count = 5'000'000;
+
+  std::printf("=== Client-visible availability: %u hourly rounds, attack from hour %u ===\n",
               hours, kAttackFromHour);
   std::printf("%llu clients (%.0f%% bootstrapping/period), %u caches x %.0f Mbit/s, "
-              "%zu relays\n\n",
+              "%zu relays, %u sweep threads\n\n",
               static_cast<unsigned long long>(clients.client_count),
               100.0 * clients.bootstrap_fraction, clients.cache_count,
-              clients.cache_bandwidth_bps / 1e6, relays);
+              clients.cache_bandwidth_bps / 1e6, relays, threads);
 
   torscenario::ScenarioRunner runner;
+  torscenario::SweepOptions sweep;
+  sweep.threads = threads;
   bool contrast_holds = true;
   for (const AttackShape& shape : shapes) {
     std::printf("--- attack shape: %s ---\n", shape.label);
     for (const char* protocol : {"current", "icps"}) {
-      // One run per hour; attacked hours flood the first 5 authorities for
-      // the first 5 minutes of the round. Rounds run sequentially (sharing
-      // the runner's workload cache) because each carries the previous
-      // round's actual published document as its diff baseline — across a
-      // failed round clients keep the older document, so the last successful
-      // round's document stays the baseline.
-      std::vector<torscenario::ScenarioResult> rounds;
-      std::shared_ptr<const tordir::ConsensusDocument> previous_document;
-      for (int hour = 0; hour < hours; ++hour) {
-        torscenario::ScenarioSpec spec;
-        spec.name = "client_availability";
-        spec.protocol = protocol;
-        spec.relay_count = relays;
-        spec.horizon = torbase::Hours(1);
-        spec.client_load = clients;
-        spec.client_load.evaluation_window = torbase::Hours(1);
-        spec.previous_consensus = previous_document;
-        if (hour >= kAttackFromHour) {
-          torattack::AttackWindow window;
-          window.targets = torattack::FirstTargets(5);
-          window.start = 0;
-          window.end = torbase::Minutes(5);
-          window.available_bps = shape.available_bps;
-          spec.attack = std::make_shared<torattack::WindowedAttack>(
-              std::vector<torattack::AttackWindow>{window});
-        }
-        rounds.push_back(runner.Run(spec));
-        if (rounds.back().succeeded && rounds.back().consensus_document != nullptr) {
-          previous_document = rounds.back().consensus_document;
-        }
-      }
+      torscenario::TimelineSpec timeline;
+      timeline.name = "client_availability";
+      timeline.rounds = hours;
+      timeline.round_period = torbase::Hours(1);
+      timeline.base.name = "client_availability";
+      timeline.base.protocol = protocol;
+      timeline.base.relay_count = relays;
+      timeline.base.client_load = clients;
+      timeline.base.client_load.diff_capable_fraction = kDiffCapableFraction;
 
-      // The day through the consumption plane twice: all-full-document (the
-      // availability headline, unchanged semantics) and with a diff-capable
-      // steady-state cohort (the serving-cost headline).
-      const auto timeline = DayTimeline(rounds, clients);
-      const double window_seconds = static_cast<double>(hours) * 3600.0;
-      const auto day = torclients::SimulateClientLoad(clients, timeline, window_seconds);
-      torclients::ClientLoadSpec diff_clients = clients;
-      diff_clients.diff_capable_fraction = kDiffCapableFraction;
-      const auto diff_day = torclients::SimulateClientLoad(diff_clients, timeline, window_seconds);
+      torattack::AttackWindow window;
+      window.targets = torattack::FirstTargets(5);
+      window.start = 0;
+      window.end = torbase::Minutes(5);
+      window.available_bps = shape.available_bps;
+      timeline.attacks.push_back(torscenario::AttackCalendarEntry{
+          kAttackFromHour, hours - 1,
+          std::make_shared<torattack::WindowedAttack>(
+              std::vector<torattack::AttackWindow>{window})});
 
-      std::printf("  %-12s rounds: %s\n", protocol, RunString(rounds).c_str());
-      PrintAvailability(day);
+      const torscenario::TimelineResult day = runner.RunTimeline(timeline, sweep);
+      const torscenario::ClientAvailabilityResult& plane = day.client_availability;
+
+      std::printf("  %-12s rounds: %s\n", protocol, RunString(day.rounds).c_str());
+      PrintAvailability(plane);
+
+      // Wire sizes from the stitched diff chain: each published round after
+      // the first carries a diff against the previous *published* document.
       size_t diff_rounds = 0;
-      uint64_t full_size = 0;
-      uint64_t diff_size = 0;
-      for (const auto& round : rounds) {
-        if (round.succeeded && round.consensus_diff_size_bytes > 0) {
+      size_t full_size = 0;
+      size_t diff_size = 0;
+      for (const torscenario::RoundSnapshot& snapshot : day.snapshots) {
+        if (snapshot.succeeded && snapshot.diff_from_previous != nullptr) {
           ++diff_rounds;
-          full_size = round.consensus_size_bytes;
-          diff_size = round.consensus_diff_size_bytes;
+          full_size = snapshot.consensus_text->size();
+          diff_size = snapshot.diff_from_previous->size();
         }
       }
-      const double client_hours =
-          static_cast<double>(clients.client_count) * static_cast<double>(hours);
-      std::printf("    consensus wire      : %.1f KB full, %.1f KB diff (%zu of %d rounds "
-                  "diffed against the previous round's document)\n",
+      std::printf("    consensus wire      : %.1f KB full, %.1f KB diff (%zu of %u rounds "
+                  "diffed against the previous published document)\n",
                   static_cast<double>(full_size) / 1024.0, static_cast<double>(diff_size) / 1024.0,
                   diff_rounds, hours);
       std::printf("    serving cost        : %.2f KB/client-hour all-full-document, "
                   "%.2f KB with a %.0f%% diff-capable cohort\n",
-                  day.served_bytes / client_hours / 1024.0,
-                  diff_day.served_bytes / client_hours / 1024.0, 100.0 * kDiffCapableFraction);
+                  plane.full_doc_bytes_per_client_hour / 1024.0,
+                  plane.bytes_per_client_hour / 1024.0, 100.0 * kDiffCapableFraction);
+      for (const tordir::HealthAlert& alert : day.health_alerts) {
+        std::printf("    horizon alert       : %s (%s)\n",
+                    tordir::HealthAlertName(alert.kind), alert.detail.c_str());
+      }
       std::fflush(stdout);
 
-      if (std::string(protocol) == "current" && day.hard_down_seconds <= 0.0) {
+      if (std::string(protocol) == "current" && plane.hard_down_seconds <= 0.0) {
         contrast_holds = false;
       }
-      if (std::string(protocol) == "icps" && day.outage_seconds > 0.0) {
+      if (std::string(protocol) == "icps" && plane.outage_seconds > 0.0) {
         contrast_holds = false;
       }
       // Diff serving can only shrink the day's served bytes (documents
       // without a diff are served in full to everyone).
-      if (diff_day.served_bytes > day.served_bytes * (1.0 + 1e-9)) {
+      if (plane.bytes_per_client_hour >
+          plane.full_doc_bytes_per_client_hour * (1.0 + 1e-9)) {
         contrast_holds = false;
       }
     }

@@ -10,6 +10,12 @@
 //   * single-behavior clean cells raise the behavior's signature alert kind;
 //   * the parallel sweep (8 threads) is bit-identical to the serial one.
 //
+// A second leg runs multi-round fault calendars through RunTimeline: byzantine
+// behaviors flipping on and off mid-horizon (every calendar-injected
+// instantiation must be detected), crashes spanning published rounds (the
+// rejoin must actually transfer bytes), and the whole stitched horizon must be
+// bit-identical between a serial and an 8-thread run.
+//
 // Everything is seeded: the same invocation always runs the same cells with
 // the same wire mutations, so a failure reproduces by cell name. `--quick`
 // runs a fixed two-seed block (a few hundred cells) as the CI gate; the full
@@ -29,6 +35,7 @@
 #include "src/common/table.h"
 #include "src/protocols/byzantine.h"
 #include "src/scenario/runner.h"
+#include "src/scenario/timeline.h"
 
 namespace {
 
@@ -208,10 +215,11 @@ struct Violations {
   uint64_t unclean_clean_cells = 0;
   uint64_t missing_signature_alerts = 0;
   uint64_t divergent_cells = 0;
+  uint64_t timeline_violations = 0;
 
   uint64_t Total() const {
     return undetected_faults + icps_liveness + unclean_clean_cells + missing_signature_alerts +
-           divergent_cells;
+           divergent_cells + timeline_violations;
   }
 };
 
@@ -252,6 +260,120 @@ void CheckCell(const Cell& cell, const ScenarioResult& result, Violations& viola
       std::printf("FAIL %-40s missing %s alert for authority %u\n", spec.name.c_str(),
                   tordir::HealthAlertName(expected), byz_id);
     }
+  }
+}
+
+// --- the timeline leg -------------------------------------------------------
+// Multi-round fault calendars through RunTimeline, fuzzing the dimensions a
+// single-round cell cannot reach: byzantine behaviors flipping on and off
+// mid-horizon, crashes spanning round boundaries with diff-chain rejoins, and
+// the serial-vs-parallel bit-identity of the whole stitched horizon.
+
+struct TimelineCase {
+  std::string name;
+  torscenario::TimelineSpec timeline;
+  uint32_t expected_injections = 0;  // byzantine instantiations the calendar implies
+  bool expect_rejoin = false;
+};
+
+std::vector<TimelineCase> TimelineCases(const std::vector<uint64_t>& seeds) {
+  torattack::AttackWindow window;
+  window.targets = torattack::FirstTargets(5);
+  window.start = 0;
+  window.end = torbase::Minutes(5);
+  window.available_bps = torattack::kUnderAttackBps;
+  const auto flood = std::make_shared<torattack::WindowedAttack>(
+      std::vector<torattack::AttackWindow>{window});
+
+  std::vector<TimelineCase> cases;
+  for (const uint64_t seed : seeds) {
+    for (const char* protocol : {"current", "synchronous", "icps"}) {
+      torscenario::TimelineSpec base;
+      base.rounds = 6;
+      base.round_period = torbase::Minutes(30);
+      base.base.protocol = protocol;
+      base.base.authority_count = kAuthorities;
+      base.base.relay_count = 120;
+      base.base.seed = seed;
+
+      // (a) byzantine behaviors flipping mid-horizon: an equivocator for
+      // rounds 2-3, a replayer for round 4 only — 3 instantiations total.
+      {
+        TimelineCase tc;
+        tc.timeline = base;
+        tc.name = std::string(protocol) + "/timeline-flip/s" + std::to_string(seed);
+        tc.timeline.name = tc.name;
+        tc.timeline.base.name = tc.name;
+        torscenario::ByzantineCalendarEntry equiv;
+        equiv.first_round = 2;
+        equiv.last_round = 3;
+        equiv.spec.behaviors[4] = ByzantineBehavior::kEquivocate;
+        equiv.spec.mutation_seed = seed * 31 + 1;
+        tc.timeline.byzantine.push_back(std::move(equiv));
+        torscenario::ByzantineCalendarEntry replay;
+        replay.first_round = 4;
+        replay.last_round = 4;
+        replay.spec.behaviors[1] = ByzantineBehavior::kReplay;
+        replay.spec.mutation_seed = seed * 31 + 2;
+        tc.timeline.byzantine.push_back(std::move(replay));
+        tc.expected_injections = 3;
+        cases.push_back(std::move(tc));
+      }
+
+      // (b) a full fault calendar: flood round 1, authority 7 down across
+      // rounds 2-4 (published rounds in between force a real catch-up), a
+      // churn blip in round 5.
+      {
+        TimelineCase tc;
+        tc.timeline = base;
+        tc.name = std::string(protocol) + "/timeline-calendar/s" + std::to_string(seed);
+        tc.timeline.name = tc.name;
+        tc.timeline.base.name = tc.name;
+        tc.timeline.attacks.push_back(torscenario::AttackCalendarEntry{1, 1, flood});
+        tc.timeline.crashes.push_back(torscenario::CrashCalendarEntry{
+            7, 2, torbase::Minutes(1), 4, torbase::Minutes(2)});
+        tc.timeline.churn.push_back(torscenario::ChurnCalendarEntry{
+            5, {8, torbase::Seconds(30), torscenario::ChurnEvent::Kind::kCrash}});
+        tc.timeline.churn.push_back(torscenario::ChurnCalendarEntry{
+            5, {8, torbase::Minutes(5), torscenario::ChurnEvent::Kind::kRecover}});
+        tc.expect_rejoin = true;
+        cases.push_back(std::move(tc));
+      }
+    }
+  }
+  return cases;
+}
+
+void CheckTimeline(const TimelineCase& tc, const torscenario::TimelineResult& serial,
+                   const torscenario::TimelineResult& parallel, Violations& violations) {
+  if (!BitIdentical(serial, parallel)) {
+    ++violations.timeline_violations;
+    std::printf("FAIL %-40s parallel timeline diverged from serial\n", tc.name.c_str());
+  }
+  if (serial.byzantine_injected != tc.expected_injections) {
+    ++violations.timeline_violations;
+    std::printf("FAIL %-40s calendar injected %u behaviors, expected %u\n", tc.name.c_str(),
+                serial.byzantine_injected, tc.expected_injections);
+  }
+  if (serial.byzantine_detected != serial.byzantine_injected) {
+    ++violations.timeline_violations;
+    std::printf("FAIL %-40s detected %u of %u calendar-injected faults\n", tc.name.c_str(),
+                serial.byzantine_detected, serial.byzantine_injected);
+  }
+  if (tc.expect_rejoin &&
+      (serial.rejoins.size() != 1 || serial.rejoins[0].node != 7 ||
+       serial.rejoins[0].rounds_behind == 0 || serial.rejoins[0].bytes == 0)) {
+    ++violations.timeline_violations;
+    std::printf("FAIL %-40s expected one real rejoin of authority 7 (got %zu)\n", tc.name.c_str(),
+                serial.rejoins.size());
+  }
+  // ICPS keeps publishing through every calendar here (at most one crashed
+  // authority plus the sub-knockout flood: well below tolerance).
+  if (tc.timeline.base.protocol == "icps" &&
+      serial.successful_rounds != static_cast<uint32_t>(serial.rounds.size())) {
+    ++violations.timeline_violations;
+    std::printf("FAIL %-40s ICPS lost %zu of %zu rounds\n", tc.name.c_str(),
+                serial.rounds.size() - serial.successful_rounds, serial.rounds.size());
   }
 }
 
@@ -310,6 +432,19 @@ int main(int argc, char** argv) {
     alerts_total += serial[i].health_alerts.size();
   }
 
+  // The timeline leg: multi-round calendars, serial vs 8 threads.
+  const std::vector<TimelineCase> timeline_cases = TimelineCases(seeds);
+  uint64_t timeline_injected = 0;
+  uint64_t timeline_rejoins = 0;
+  for (const TimelineCase& tc : timeline_cases) {
+    const torscenario::TimelineResult timeline_serial = serial_runner.RunTimeline(tc.timeline);
+    const torscenario::TimelineResult timeline_parallel =
+        parallel_runner.RunTimeline(tc.timeline, torscenario::SweepOptions{8});
+    CheckTimeline(tc, timeline_serial, timeline_parallel, violations);
+    timeline_injected += timeline_serial.byzantine_injected;
+    timeline_rejoins += timeline_serial.rejoins.size();
+  }
+
   torbase::Table table({"Metric", "Value"});
   table.AddRow({"Cells", torbase::Table::Int(cells.size())});
   table.AddRow({"Byzantine cells", torbase::Table::Int(byzantine_cells)});
@@ -322,6 +457,10 @@ int main(int argc, char** argv) {
   table.AddRow(
       {"Missing signature alerts", torbase::Table::Int(violations.missing_signature_alerts)});
   table.AddRow({"Serial/parallel divergences", torbase::Table::Int(violations.divergent_cells)});
+  table.AddRow({"Timeline cases", torbase::Table::Int(timeline_cases.size())});
+  table.AddRow({"Timeline calendar injections", torbase::Table::Int(timeline_injected)});
+  table.AddRow({"Timeline rejoins", torbase::Table::Int(timeline_rejoins)});
+  table.AddRow({"Timeline violations", torbase::Table::Int(violations.timeline_violations)});
   table.Print(std::cout);
 
   if (violations.Total() > 0) {

@@ -30,6 +30,7 @@
 #include "src/crypto/sha256.h"
 #include "src/crypto/sha256_batch.h"
 #include "src/scenario/runner.h"
+#include "src/scenario/timeline.h"
 #include "src/sim/event_probe.h"
 #include "src/sim/simulator.h"
 #include "src/tordir/aggregate.h"
@@ -567,6 +568,71 @@ HashingMicro MeasureHashing(bool quick, unsigned threads) {
   return micro;
 }
 
+struct TimelineMicro {
+  uint32_t rounds = 0;
+  double wall_seconds = 0.0;
+  double rounds_per_second = 0.0;
+  uint32_t successful_rounds = 0;
+  size_t rejoin_count = 0;
+  double peak_retry_backlog = 0.0;
+  bool plane_enabled = false;
+};
+
+// The long-horizon row: a week of hourly rounds (24 in --quick) under a fault
+// calendar — an 8-round knock-out flood, an authority crash spanning
+// published rounds (diff-chain rejoin), a churn blip — with 5M clients
+// integrated across the whole horizon, all in one RunTimeline call fanned
+// onto the sweep pool. The floor pins end-to-end round throughput: a
+// regression anywhere in the stack (simulation, stitch, diff codec, client
+// plane) drags rounds/s down. Measured ~35 rounds/s on a single-core CI
+// container at 800 relays; the floor sits ~8x below that so only a
+// structural regression (per-round reserialization, a quadratic stitch, an
+// eventful client plane) trips it on any hardware tier.
+constexpr double kMinTimelineRoundsPerSecond = 4.0;
+
+TimelineMicro MeasureTimeline(bool quick, unsigned threads) {
+  torscenario::TimelineSpec timeline;
+  timeline.name = "perf_timeline";
+  timeline.rounds = quick ? 24 : 168;
+  timeline.round_period = torbase::Hours(1);
+  timeline.base.name = "perf_timeline";
+  timeline.base.protocol = "current";
+  timeline.base.relay_count = 800;
+  timeline.base.client_load.client_count = 5'000'000;
+  timeline.base.client_load.diff_capable_fraction = 0.8;
+
+  torattack::AttackWindow window;
+  window.targets = torattack::FirstTargets(5);
+  window.start = 0;
+  window.end = torbase::Minutes(5);
+  window.available_bps = 0.0;
+  timeline.attacks.push_back(torscenario::AttackCalendarEntry{
+      8, quick ? 11u : 15u,
+      std::make_shared<torattack::WindowedAttack>(
+          std::vector<torattack::AttackWindow>{window})});
+  timeline.crashes.push_back(
+      torscenario::CrashCalendarEntry{7, 2, torbase::Minutes(1), 5, torbase::Minutes(2)});
+  const uint32_t blip_round = quick ? 20 : 100;
+  timeline.churn.push_back(torscenario::ChurnCalendarEntry{
+      blip_round, {8, torbase::Seconds(30), torscenario::ChurnEvent::Kind::kCrash}});
+  timeline.churn.push_back(torscenario::ChurnCalendarEntry{
+      blip_round, {8, torbase::Minutes(5), torscenario::ChurnEvent::Kind::kRecover}});
+
+  torscenario::ScenarioRunner runner;
+  const auto start = Clock::now();
+  const torscenario::TimelineResult result =
+      runner.RunTimeline(timeline, torscenario::SweepOptions{threads});
+  TimelineMicro micro;
+  micro.wall_seconds = SecondsSince(start);
+  micro.rounds = timeline.rounds;
+  micro.rounds_per_second = static_cast<double>(timeline.rounds) / micro.wall_seconds;
+  micro.successful_rounds = result.successful_rounds;
+  micro.rejoin_count = result.rejoins.size();
+  micro.peak_retry_backlog = result.peak_retry_backlog;
+  micro.plane_enabled = result.client_availability.enabled;
+  return micro;
+}
+
 struct EventMicro {
   double schedule_fire_ns = 0.0;
   double schedule_cancel_ns = 0.0;
@@ -699,6 +765,14 @@ int main(int argc, char** argv) {
               clients.run_micros_128_caches);
   std::printf("  sim events      : %7.3f per client fetch\n\n", clients.events_per_fetch);
 
+  std::printf("timeline (%s-horizon fault calendar, 5M clients, %u threads)...\n",
+              quick ? "24-round" : "7-day", threads);
+  const TimelineMicro timeline = MeasureTimeline(quick, threads);
+  std::printf("  %u rounds       : %7.2f s wall  (%.2f rounds/s)\n", timeline.rounds,
+              timeline.wall_seconds, timeline.rounds_per_second);
+  std::printf("  horizon         : %u published, %zu rejoin(s), peak backlog %.0f\n\n",
+              timeline.successful_rounds, timeline.rejoin_count, timeline.peak_retry_backlog);
+
   std::printf("serial sweep...\n");
   torscenario::ScenarioRunner serial_runner;
   const auto serial_start = Clock::now();
@@ -797,6 +871,17 @@ int main(int argc, char** argv) {
                : "false")
        << "\n"
        << "  },\n"
+       << "  \"timeline\": {\n"
+       << "    \"rounds\": " << timeline.rounds << ",\n"
+       << "    \"clients\": 5000000,\n"
+       << "    \"wall_seconds\": " << timeline.wall_seconds << ",\n"
+       << "    \"rounds_per_second\": " << timeline.rounds_per_second << ",\n"
+       << "    \"successful_rounds\": " << timeline.successful_rounds << ",\n"
+       << "    \"rejoins\": " << timeline.rejoin_count << ",\n"
+       << "    \"peak_retry_backlog\": " << timeline.peak_retry_backlog << ",\n"
+       << "    \"rounds_per_second_floor\": " << kMinTimelineRoundsPerSecond << ",\n"
+       << "    \"floor_enforced\": " << (kThroughputFloorsApply ? "true" : "false") << "\n"
+       << "  },\n"
        << "  \"event_schedule_fire_ns\": " << micro.schedule_fire_ns << ",\n"
        << "  \"event_schedule_cancel_ns\": " << micro.schedule_cancel_ns << ",\n"
        << "  \"event_allocations_per_event\": " << micro.allocations_per_event << ",\n"
@@ -884,6 +969,21 @@ int main(int argc, char** argv) {
                    point.apply_mb_per_second);
       return 1;
     }
+  }
+  // The timeline row self-checks: the horizon must actually publish, carry
+  // the client plane, and rejoin the crashed authority — and in optimized,
+  // unsanitized builds it must clear the end-to-end throughput floor.
+  if (timeline.successful_rounds == 0 || !timeline.plane_enabled ||
+      timeline.rejoin_count == 0) {
+    std::fprintf(stderr,
+                 "REGRESSION: timeline row degenerate (%u published, plane=%d, %zu rejoins)\n",
+                 timeline.successful_rounds, timeline.plane_enabled, timeline.rejoin_count);
+    return 1;
+  }
+  if (kThroughputFloorsApply && timeline.rounds_per_second < kMinTimelineRoundsPerSecond) {
+    std::fprintf(stderr, "REGRESSION: timeline below %.1f rounds/s (%.2f)\n",
+                 kMinTimelineRoundsPerSecond, timeline.rounds_per_second);
+    return 1;
   }
   return 0;
 }

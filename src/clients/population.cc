@@ -112,7 +112,11 @@ ClientAvailability SimulateClientLoad(const ClientLoadSpec& spec,
   const double steady_rate =
       static_cast<double>(spec.client_count) * (1.0 - spec.bootstrap_fraction) / period;
 
-  double backlog = 0.0;
+  // The carry-in herd: bootstraps a previous window left blocked compete for
+  // capacity from the first instant, exactly as if the window had never been
+  // split there.
+  double backlog = std::max(spec.initial_backlog_fetches, 0.0);
+  out.peak_backlog_fetches = backlog;
   out.timeline.reserve(cuts.size() - 1);
   for (size_t i = 0; i + 1 < cuts.size(); ++i) {
     const double t0 = cuts[i];
@@ -239,7 +243,11 @@ ClientAvailability SimulateClientLoad(const ClientLoadSpec& spec,
 
   // Demand still queued at the window edge never got a document in time.
   out.unserved_fetches += backlog;
-  out.total_fetches = (steady_rate + boot_rate) * window_seconds;
+  out.end_backlog_fetches = backlog;
+  // Carried-in backlog is demand this window must answer for, so it counts
+  // toward the denominator too (fresh_fraction stays <= 1 under carry).
+  out.total_fetches =
+      (steady_rate + boot_rate) * window_seconds + std::max(spec.initial_backlog_fetches, 0.0);
   if (out.total_fetches > 0.0) {
     out.fresh_fraction = out.fresh_fetches / out.total_fetches;
   }

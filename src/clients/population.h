@@ -86,6 +86,13 @@ struct ClientLoadSpec {
   // 0 = use the first real document's size, or 1 MB if there is none.
   double consensus_size_hint_bytes = 0.0;
 
+  // Bootstrap fetches already blocked (queued) when the window opens — the
+  // retry backlog carried in from an earlier evaluation window, so chained
+  // windows reproduce one long window's thundering herd instead of resetting
+  // it. 0 (the default) keeps results bit-identical to the pre-carry model;
+  // ClientAvailability::end_backlog_fetches is the matching carry-out.
+  double initial_backlog_fetches = 0.0;
+
   // Fraction of steady-state refetchers that fetch a consensus *diff*
   // (src/tordir/consensus_diff.h) instead of the full document when the
   // served document carries one (PublishedDocument::diff_size_bytes > 0).
@@ -159,6 +166,10 @@ struct ClientAvailability {
 
   // High-water mark of bootstrapping clients blocked waiting for a document.
   double peak_backlog_fetches = 0.0;
+  // Bootstrap fetches still blocked when the window closed — the carry-out
+  // matching ClientLoadSpec::initial_backlog_fetches (also counted in
+  // unserved_fetches: demand this window never served).
+  double end_backlog_fetches = 0.0;
 
   // Total bytes the cache tier transferred over the window (the served-bytes
   // integral; divide by client-hours for the serving-cost headline).

@@ -90,7 +90,8 @@ class IcpsAuthority : public torsim::Actor {
                 std::shared_ptr<const tordir::VoteDocument> own_vote,
                 std::shared_ptr<const std::string> own_vote_text = nullptr,
                 std::shared_ptr<const tordir::VoteCache> vote_cache = nullptr,
-                std::shared_ptr<const std::string> second_vote_text = nullptr);
+                std::shared_ptr<const std::string> second_vote_text = nullptr,
+                std::shared_ptr<const torproto::AuthorityRoundState> round_state = nullptr);
 
   // Convenience for tests and drivers that own a plain document.
   IcpsAuthority(const IcpsConfig& config, const torcrypto::KeyDirectory* directory,
@@ -108,6 +109,12 @@ class IcpsAuthority : public torsim::Actor {
   // Digest of the unsigned consensus body, once computed this run.
   const std::optional<torcrypto::Digest256>& consensus_digest() const {
     return consensus_digest_;
+  }
+
+  // The round-boundary state this authority was restored with (null for a
+  // cold start). Read by the protocol's SnapshotAuthority.
+  const std::shared_ptr<const torproto::AuthorityRoundState>& round_state() const {
+    return round_state_;
   }
 
   // Authorities whose vote documents this one holds (its own included) — what
@@ -174,6 +181,7 @@ class IcpsAuthority : public torsim::Actor {
   std::shared_ptr<const std::string> own_vote_text_;
   std::shared_ptr<const tordir::VoteCache> vote_cache_;
   std::shared_ptr<const std::string> second_vote_text_;
+  std::shared_ptr<const torproto::AuthorityRoundState> round_state_;
   torcrypto::Digest256 own_digest_;
 
   // Admission evidence, in arrival order.

@@ -31,6 +31,7 @@ AuthorityMaterials WithDocument(const AuthorityMaterials& honest, tordir::VoteDo
   faulty.vote_text = std::make_shared<const std::string>(tordir::SerializeVote(document));
   faulty.vote = std::make_shared<const tordir::VoteDocument>(std::move(document));
   faulty.vote_cache = honest.vote_cache;
+  faulty.round_state = honest.round_state;
   return faulty;
 }
 

@@ -82,6 +82,9 @@ class ByzantineProtocol : public DirectoryProtocol {
   PublishedConsensus ProbeConsensus(const torsim::Actor& actor) const override {
     return inner_->ProbeConsensus(actor);
   }
+  AuthorityRoundState SnapshotAuthority(const torsim::Actor& actor) const override {
+    return inner_->SnapshotAuthority(actor);
+  }
   std::vector<torbase::NodeId> ProbeVoteSenders(const torsim::Actor& actor) const override {
     return inner_->ProbeVoteSenders(actor);
   }

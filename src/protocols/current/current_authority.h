@@ -41,12 +41,15 @@ class CurrentAuthority : public torsim::Actor {
   // shares one set of documents across every cell and run.
   // `second_vote_text` enables equivocation (see AuthorityMaterials): when
   // set, odd peers receive those bytes in the vote round instead of
-  // `own_vote_text`. Null for honest authorities.
+  // `own_vote_text`. Null for honest authorities. `round_state` is the
+  // multi-round restore seam (AuthorityMaterials::round_state): retained and
+  // echoed by SnapshotAuthority, never part of the protocol exchange.
   CurrentAuthority(const ProtocolConfig& config, const torcrypto::KeyDirectory* directory,
                    std::shared_ptr<const tordir::VoteDocument> own_vote,
                    std::shared_ptr<const std::string> own_vote_text = nullptr,
                    std::shared_ptr<const tordir::VoteCache> vote_cache = nullptr,
-                   std::shared_ptr<const std::string> second_vote_text = nullptr);
+                   std::shared_ptr<const std::string> second_vote_text = nullptr,
+                   std::shared_ptr<const AuthorityRoundState> round_state = nullptr);
 
   // Convenience for tests and drivers that own a plain document.
   CurrentAuthority(const ProtocolConfig& config, const torcrypto::KeyDirectory* directory,
@@ -63,6 +66,10 @@ class CurrentAuthority : public torsim::Actor {
   const std::optional<torcrypto::Digest256>& consensus_digest() const {
     return consensus_digest_;
   }
+
+  // The round-boundary state this authority was restored with (null for a
+  // cold start). Read by the protocol's SnapshotAuthority.
+  const std::shared_ptr<const AuthorityRoundState>& round_state() const { return round_state_; }
 
   // Authorities whose votes this one holds (its own included) — what the
   // consensus-health monitor observes of the vote exchange.
@@ -118,6 +125,7 @@ class CurrentAuthority : public torsim::Actor {
   std::shared_ptr<const std::string> own_vote_text_;
   std::shared_ptr<const tordir::VoteCache> vote_cache_;
   std::shared_ptr<const std::string> second_vote_text_;
+  std::shared_ptr<const AuthorityRoundState> round_state_;
 
   // Admission evidence, in arrival order.
   std::vector<ObservedVote> observed_votes_;

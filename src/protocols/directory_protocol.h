@@ -82,6 +82,12 @@ struct AuthorityMaterials {
   // honest authorities; populated only by the byzantine wrapper layer
   // (src/protocols/byzantine.h).
   std::shared_ptr<const std::string> second_vote_text;
+  // Round-boundary restore seam: the consensus state this authority carried
+  // out of a previous round (a crashed authority rejoining with the document
+  // it fetched). Null for a cold start. Authorities retain it — it never
+  // perturbs the protocol exchange — and SnapshotAuthority echoes it back
+  // when the authority does not assemble a fresh consensus this round.
+  std::shared_ptr<const AuthorityRoundState> round_state;
 
   // Convenience for tests and drivers that own a plain document.
   static AuthorityMaterials Own(tordir::VoteDocument vote, std::string vote_text = {});
@@ -114,6 +120,16 @@ class DirectoryProtocol {
     (void)actor;
     return {};
   }
+
+  // Snapshots the durable state `actor` carries across a round boundary: the
+  // consensus it assembled this round (document copied flat, text serialized
+  // canonically), or — for the built-ins — the round_state it was restored
+  // with when it assembled nothing (a rejoining authority keeps serving what
+  // it fetched). The base implementation covers any protocol that answers
+  // ProbeConsensus; protocols with richer cross-round state override.
+  // Snapshot → restore → snapshot round-trips bit-identically (pinned per
+  // registered protocol by timeline_test).
+  virtual AuthorityRoundState SnapshotAuthority(const torsim::Actor& actor) const;
 
   // The authorities whose votes (relay lists / vote documents, in each
   // protocol's vocabulary) `actor` ended the run holding, its own included.

@@ -8,9 +8,22 @@
 #include "src/protocols/common.h"
 #include "src/protocols/current/current_authority.h"
 #include "src/protocols/sync/sync_authority.h"
+#include "src/tordir/dirspec.h"
 
 namespace torproto {
 namespace {
+
+// Echo a restored round_state out of an authority that assembled nothing this
+// round: the snapshot seam's "a rejoining authority keeps serving what it
+// fetched" half, shared by the three built-ins.
+AuthorityRoundState RestoredOrEmpty(std::shared_ptr<const AuthorityRoundState> restored) {
+  if (restored == nullptr) {
+    return {};
+  }
+  AuthorityRoundState state = *restored;
+  state.restored = true;
+  return state;
+}
 
 constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
 
@@ -26,10 +39,18 @@ class CurrentProtocol : public DirectoryProtocol {
                                                AuthorityMaterials materials) const override {
     ProtocolConfig proto_config;
     proto_config.authority_count = config.authority_count;
-    return std::make_unique<CurrentAuthority>(proto_config, directory, std::move(materials.vote),
-                                              std::move(materials.vote_text),
-                                              std::move(materials.vote_cache),
-                                              std::move(materials.second_vote_text));
+    return std::make_unique<CurrentAuthority>(
+        proto_config, directory, std::move(materials.vote), std::move(materials.vote_text),
+        std::move(materials.vote_cache), std::move(materials.second_vote_text),
+        std::move(materials.round_state));
+  }
+
+  AuthorityRoundState SnapshotAuthority(const torsim::Actor& actor) const override {
+    AuthorityRoundState state = DirectoryProtocol::SnapshotAuthority(actor);
+    if (state.consensus == nullptr) {
+      return RestoredOrEmpty(static_cast<const CurrentAuthority&>(actor).round_state());
+    }
+    return state;
   }
 
   UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const override {
@@ -86,10 +107,18 @@ class SynchronousProtocol : public DirectoryProtocol {
                                                AuthorityMaterials materials) const override {
     ProtocolConfig proto_config;
     proto_config.authority_count = config.authority_count;
-    return std::make_unique<SyncAuthority>(proto_config, directory, std::move(materials.vote),
-                                           std::move(materials.vote_text),
-                                           std::move(materials.vote_cache),
-                                           std::move(materials.second_vote_text));
+    return std::make_unique<SyncAuthority>(
+        proto_config, directory, std::move(materials.vote), std::move(materials.vote_text),
+        std::move(materials.vote_cache), std::move(materials.second_vote_text),
+        std::move(materials.round_state));
+  }
+
+  AuthorityRoundState SnapshotAuthority(const torsim::Actor& actor) const override {
+    AuthorityRoundState state = DirectoryProtocol::SnapshotAuthority(actor);
+    if (state.consensus == nullptr) {
+      return RestoredOrEmpty(static_cast<const SyncAuthority&>(actor).round_state());
+    }
+    return state;
   }
 
   UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const override {
@@ -147,11 +176,18 @@ class IcpsProtocol : public DirectoryProtocol {
     icps_config.SetAuthorityCount(config.authority_count);
     icps_config.dissemination_timeout = config.dissemination_timeout;
     icps_config.hotstuff.two_phase = config.two_phase_agreement;
-    return std::make_unique<toricc::IcpsAuthority>(icps_config, directory,
-                                                   std::move(materials.vote),
-                                                   std::move(materials.vote_text),
-                                                   std::move(materials.vote_cache),
-                                                   std::move(materials.second_vote_text));
+    return std::make_unique<toricc::IcpsAuthority>(
+        icps_config, directory, std::move(materials.vote), std::move(materials.vote_text),
+        std::move(materials.vote_cache), std::move(materials.second_vote_text),
+        std::move(materials.round_state));
+  }
+
+  AuthorityRoundState SnapshotAuthority(const torsim::Actor& actor) const override {
+    AuthorityRoundState state = DirectoryProtocol::SnapshotAuthority(actor);
+    if (state.consensus == nullptr) {
+      return RestoredOrEmpty(static_cast<const toricc::IcpsAuthority&>(actor).round_state());
+    }
+    return state;
   }
 
   UnifiedOutcome ProbeOutcome(const torsim::Actor& actor) const override {
@@ -218,6 +254,20 @@ ProtocolMap& Registry() {
 }
 
 }  // namespace
+
+AuthorityRoundState DirectoryProtocol::SnapshotAuthority(const torsim::Actor& actor) const {
+  AuthorityRoundState state;
+  const PublishedConsensus published = ProbeConsensus(actor);
+  if (published.document != nullptr) {
+    // Flat copy + canonical serialization: the actor (and its document) die
+    // with the round's harness, but the snapshot must outlive both. Interned
+    // relay strings keep the copy cheap.
+    state.consensus = std::make_shared<const tordir::ConsensusDocument>(*published.document);
+    state.consensus_text =
+        std::make_shared<const std::string>(tordir::SerializeConsensus(*state.consensus));
+  }
+  return state;
+}
 
 AuthorityMaterials AuthorityMaterials::Own(tordir::VoteDocument vote, std::string vote_text) {
   AuthorityMaterials materials;

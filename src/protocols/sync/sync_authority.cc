@@ -20,14 +20,16 @@ SyncAuthority::SyncAuthority(const ProtocolConfig& config,
                              std::shared_ptr<const tordir::VoteDocument> own_vote,
                              std::shared_ptr<const std::string> own_vote_text,
                              std::shared_ptr<const tordir::VoteCache> vote_cache,
-                             std::shared_ptr<const std::string> second_vote_text)
+                             std::shared_ptr<const std::string> second_vote_text,
+                             std::shared_ptr<const AuthorityRoundState> round_state)
     : config_(config),
       directory_(directory),
       signer_(directory->SignerFor(own_vote->authority)),
       own_vote_(std::move(own_vote)),
       own_vote_text_(std::move(own_vote_text)),
       vote_cache_(std::move(vote_cache)),
-      second_vote_text_(std::move(second_vote_text)) {
+      second_vote_text_(std::move(second_vote_text)),
+      round_state_(std::move(round_state)) {
   if (own_vote_text_ == nullptr) {
     own_vote_text_ = std::make_shared<const std::string>(tordir::SerializeVote(*own_vote_));
   }

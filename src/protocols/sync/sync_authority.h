@@ -66,7 +66,8 @@ class SyncAuthority : public torsim::Actor {
                 std::shared_ptr<const tordir::VoteDocument> own_vote,
                 std::shared_ptr<const std::string> own_vote_text = nullptr,
                 std::shared_ptr<const tordir::VoteCache> vote_cache = nullptr,
-                std::shared_ptr<const std::string> second_vote_text = nullptr);
+                std::shared_ptr<const std::string> second_vote_text = nullptr,
+                std::shared_ptr<const AuthorityRoundState> round_state = nullptr);
 
   // Convenience for tests and drivers that own a plain document.
   SyncAuthority(const ProtocolConfig& config, const torcrypto::KeyDirectory* directory,
@@ -78,6 +79,10 @@ class SyncAuthority : public torsim::Actor {
   const SyncOutcome& outcome() const { return outcome_; }
   const ProtocolConfig& config() const { return config_; }
   bool finished() const { return finished_; }
+
+  // The round-boundary state this authority was restored with (null for a
+  // cold start). Read by the protocol's SnapshotAuthority.
+  const std::shared_ptr<const AuthorityRoundState>& round_state() const { return round_state_; }
 
   // Digest of the unsigned consensus body, once computed this run.
   const std::optional<torcrypto::Digest256>& consensus_digest() const {
@@ -136,6 +141,7 @@ class SyncAuthority : public torsim::Actor {
   std::shared_ptr<const std::string> own_vote_text_;
   std::shared_ptr<const tordir::VoteCache> vote_cache_;
   std::shared_ptr<const std::string> second_vote_text_;
+  std::shared_ptr<const AuthorityRoundState> round_state_;
 
   // Admission evidence, in arrival order.
   std::vector<ObservedVote> observed_votes_;

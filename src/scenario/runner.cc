@@ -65,6 +65,9 @@ void AnalyzeHealth(const ScenarioSpec& spec, const torproto::DirectoryProtocol& 
                            torbase::ToSeconds(rejected.at));
     }
   }
+  // Flooded or dead links drop messages silently at the NIC; surface them so
+  // operators see the flood itself, not only its consensus fallout.
+  monitor.RecordUndeliverable(result.undeliverable_messages);
   for (const torsim::Actor* actor : actors) {
     const torproto::PublishedConsensus published = protocol.ProbeConsensus(*actor);
     if (published.document == nullptr) {
@@ -368,6 +371,7 @@ ScenarioResult ScenarioRunner::RunWithWorkload(const ScenarioSpec& spec, const W
   ScenarioResult result;
   result.total_bytes_sent = harness.net().total_bytes_sent();
   result.bytes_by_kind = harness.net().bytes_by_kind();
+  result.undeliverable_messages = harness.net().undeliverable_count();
 
   double latency = 0.0;
   double finish = 0.0;
@@ -378,6 +382,7 @@ ScenarioResult ScenarioRunner::RunWithWorkload(const ScenarioSpec& spec, const W
       continue;
     }
     ++result.valid_count;
+    result.consensus_holders.push_back(actor->id());
     result.consensus_relays = outcome.consensus_relays;
     latency = std::max(latency, outcome.network_time_seconds);
     finish = std::max(finish, outcome.finish_seconds);
@@ -408,6 +413,13 @@ ScenarioResult ScenarioRunner::RunWithWorkload(const ScenarioSpec& spec, const W
   if (spec.client_load.client_count > 0) {
     AnalyzeClientLoad(spec, published,
                       workload.vote_texts.empty() ? 0 : workload.vote_texts[0]->size(), result);
+  }
+  // Timeline rounds run without a per-round client plane but still need the
+  // actual published document for diff chains and rejoin costing.
+  if (spec.retain_consensus && published.document != nullptr &&
+      result.consensus_document == nullptr) {
+    result.consensus_document =
+        std::make_shared<const tordir::ConsensusDocument>(*published.document);
   }
 
   if (inspect) {

@@ -27,6 +27,9 @@
 
 namespace torscenario {
 
+struct TimelineSpec;
+struct TimelineResult;
+
 // How a Sweep distributes its cells.
 struct SweepOptions {
   // Worker threads running cells concurrently. 0 = hardware concurrency,
@@ -57,6 +60,14 @@ class ScenarioRunner {
   // thread count.
   std::vector<ScenarioResult> Sweep(const std::vector<ScenarioSpec>& specs,
                                     const SweepOptions& options);
+
+  // Runs a long-horizon fault-calendar timeline (src/scenario/timeline.h):
+  // derives one ScenarioSpec per round, fans the rounds onto the sweep pool,
+  // then stitches diff chains, authority rejoins, the whole-horizon client
+  // plane and recovery metrics in a deterministic serial pass. Bit-identical
+  // for any thread count. Defined in timeline.cc.
+  TimelineResult RunTimeline(const TimelineSpec& timeline);
+  TimelineResult RunTimeline(const TimelineSpec& timeline, const SweepOptions& options);
 
   // Workload-cache telemetry (asserted by tests, reported by benches).
   size_t workload_cache_hits() const;

@@ -100,6 +100,13 @@ struct ScenarioSpec {
   // (torproto::ByzantineProtocol), so it composes with any registered
   // protocol, any attack schedule, and churn.
   torproto::ByzantineSpec byzantine;
+
+  // Retain a flat copy of the published document in
+  // ScenarioResult::consensus_document even when the client plane is off.
+  // The timeline engine (src/scenario/timeline.h) needs every round's actual
+  // document for diff chains and rejoin accounting without paying for a
+  // per-round client plane; interned relay strings make the copy cheap.
+  bool retain_consensus = false;
 };
 
 // The client-visible availability of one run, distilled from
@@ -148,6 +155,14 @@ struct ScenarioResult {
   size_t consensus_relays = 0;
   uint64_t total_bytes_sent = 0;
   std::map<std::string, uint64_t> bytes_by_kind;
+  // Directory messages the network dropped because their NIC schedules could
+  // never carry them (flooded or dead links) — Network::undeliverable_count.
+  // Nonzero drops also raise a dropped-messages health alert.
+  uint64_t undeliverable_messages = 0;
+  // Authorities that ended the run holding a valid consensus, ascending. The
+  // timeline engine's rejoin accounting keys off this: a crashed authority
+  // absent here kept (only) the older document it held before the crash.
+  std::vector<torbase::NodeId> consensus_holders;
 
   // (time, victims) pairs the attack schedule applied during this run; empty
   // for unattacked scenarios.
@@ -227,7 +242,9 @@ inline bool BitIdentical(const ScenarioResult& a, const ScenarioResult& b) {
          same_double(a.latency_seconds, b.latency_seconds) &&
          same_double(a.finish_time_seconds, b.finish_time_seconds) &&
          a.consensus_relays == b.consensus_relays && a.total_bytes_sent == b.total_bytes_sent &&
-         a.bytes_by_kind == b.bytes_by_kind && a.attack_history == b.attack_history &&
+         a.bytes_by_kind == b.bytes_by_kind &&
+         a.undeliverable_messages == b.undeliverable_messages &&
+         a.consensus_holders == b.consensus_holders && a.attack_history == b.attack_history &&
          same_double(a.consensus_published_seconds, b.consensus_published_seconds) &&
          a.consensus_valid_after == b.consensus_valid_after &&
          a.consensus_fresh_until == b.consensus_fresh_until &&

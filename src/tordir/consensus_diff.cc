@@ -411,4 +411,47 @@ Result<ConsensusDiffHeader> ParseConsensusDiffHeader(std::string_view diff) {
   return ConsensusDiffHeader{framing.base_digest, framing.target_digest};
 }
 
+Result<std::string> ApplyConsensusDiffChain(std::string_view base,
+                                            const std::vector<std::string_view>& diffs,
+                                            const ApplyDiffOptions& options) {
+  if (diffs.empty()) {
+    return std::string(base);
+  }
+  // The chain anchor: the client's held document must be the one the first
+  // diff patches. Verified unconditionally — this is the one link where no
+  // previous target digest vouches for the base bytes.
+  Result<ConsensusDiffHeader> first = ParseConsensusDiffHeader(diffs.front());
+  if (!first.ok()) {
+    return first.status();
+  }
+  if (torcrypto::Digest256(torcrypto::Sha256TreeDigest(base, options.pool)) !=
+      first->base_digest) {
+    return Status::FailedPrecondition("diff chain does not start at the held document");
+  }
+
+  torcrypto::Digest256 previous_target = first->base_digest;
+  std::string current(base);
+  for (size_t i = 0; i < diffs.size(); ++i) {
+    Result<ConsensusDiffHeader> header = ParseConsensusDiffHeader(diffs[i]);
+    if (!header.ok()) {
+      return header.status();
+    }
+    if (header->base_digest != previous_target) {
+      return Status::FailedPrecondition("diff chain broken at link " + std::to_string(i) +
+                                        ": base digest does not match the previous target");
+    }
+    // The anchor check (and each link's verified target) already vouch for
+    // the running document, so per-link base verification is redundant work.
+    ApplyDiffOptions link_options = options;
+    link_options.verify_base = false;
+    Result<std::string> patched = ApplyConsensusDiff(current, diffs[i], link_options);
+    if (!patched.ok()) {
+      return patched.status();
+    }
+    current = std::move(*patched);
+    previous_target = header->target_digest;
+  }
+  return current;
+}
+
 }  // namespace tordir

@@ -41,6 +41,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/crypto/digest.h"
@@ -104,6 +105,23 @@ struct ConsensusDiffHeader {
 };
 
 torbase::Result<ConsensusDiffHeader> ParseConsensusDiffHeader(std::string_view diff);
+
+// Applies a *chain* of consecutive diffs to `base` — how a cache serves a
+// client (or a recovering authority) N rounds behind: compose the per-round
+// diffs instead of shipping the full document. The chain's framing digests
+// must link up exactly: the first diff's base digest must match the digest of
+// `base` (always verified here, regardless of options.verify_base — a chain
+// endpoint has no other way to know the client's document is the one the
+// chain starts from), and every subsequent diff's base digest must equal the
+// previous diff's target digest. Each link's patched output is verified
+// against its target digest per options.verify_target. Any framing-digest
+// mismatch, anywhere in the chain, refuses the whole application — never a
+// silently wrong document. The final output is byte-identical to the full
+// serialization of the last diff's target (pinned by consensus_diff_test).
+// An empty chain returns a copy of `base`.
+torbase::Result<std::string> ApplyConsensusDiffChain(std::string_view base,
+                                                     const std::vector<std::string_view>& diffs,
+                                                     const ApplyDiffOptions& options = {});
 
 }  // namespace tordir
 

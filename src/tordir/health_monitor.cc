@@ -32,6 +32,12 @@ const char* HealthAlertName(HealthAlertKind kind) {
       return "replayed-vote";
     case HealthAlertKind::kBandwidthInflation:
       return "bandwidth-inflation";
+    case HealthAlertKind::kDroppedMessages:
+      return "dropped-messages";
+    case HealthAlertKind::kSlowRecovery:
+      return "slow-recovery";
+    case HealthAlertKind::kHerdOverload:
+      return "herd-overload";
   }
   return "?";
 }
@@ -73,6 +79,12 @@ void HealthMonitor::RecordReject(torbase::NodeId observer, torbase::NodeId sende
 void HealthMonitor::RecordConsensus(torbase::NodeId authority,
                                     std::optional<torcrypto::Digest256> digest) {
   consensus_[authority] = std::move(digest);
+}
+
+void HealthMonitor::RecordUndeliverable(uint64_t count) { undeliverable_ += count; }
+
+void HealthMonitor::RecordTimelineRound(const TimelineRoundObservation& observation) {
+  timeline_rounds_.push_back(observation);
 }
 
 std::vector<HealthAlert> HealthMonitor::Analyze() const {
@@ -207,6 +219,75 @@ std::vector<HealthAlert> HealthMonitor::Analyze() const {
                                  std::to_string(distinct.size()) +
                                      " distinct consensus documents signed this period"});
   }
+
+  // Undeliverable drops: directory messages the network could never carry
+  // (flooded or dead links). Absence-style evidence — the drop counter has no
+  // timestamp.
+  if (undeliverable_ > 0) {
+    alerts.push_back(HealthAlert{HealthAlertKind::kDroppedMessages,
+                                 {},
+                                 std::to_string(undeliverable_) +
+                                     " directory messages dropped on flooded or dead links"});
+  }
+
+  // Timeline pathologies: scan the per-round horizon feed (empty outside
+  // multi-round analyses, so single-round monitors never reach this).
+  if (!timeline_rounds_.empty()) {
+    // Slow recovery: after the *last* faulted round, clients should be back
+    // on fresh serving within slow_recovery_rounds_ full rounds.
+    uint64_t last_faulted = 0;
+    bool any_fault = false;
+    for (const TimelineRoundObservation& round : timeline_rounds_) {
+      if (round.faulted) {
+        any_fault = true;
+        last_faulted = std::max(last_faulted, round.round);
+      }
+    }
+    if (any_fault) {
+      uint64_t degraded_rounds = 0;
+      bool recovered = false;
+      for (const TimelineRoundObservation& round : timeline_rounds_) {
+        if (round.round <= last_faulted) {
+          continue;
+        }
+        if (round.fresh_at_end) {
+          recovered = true;
+          break;
+        }
+        ++degraded_rounds;
+      }
+      const bool tail_rounds_exist = timeline_rounds_.back().round > last_faulted;
+      if (tail_rounds_exist && (!recovered || degraded_rounds > slow_recovery_rounds_)) {
+        alerts.push_back(HealthAlert{
+            HealthAlertKind::kSlowRecovery,
+            {},
+            recovered ? "serving stayed degraded " + std::to_string(degraded_rounds) +
+                            " rounds after the fault calendar cleared (round " +
+                            std::to_string(last_faulted) + ")"
+                      : "serving never returned to fresh after the fault calendar cleared (round " +
+                            std::to_string(last_faulted) + ")"});
+      }
+    }
+
+    // Herd overload: the bootstrap retry backlog peaked above the allowed
+    // fraction of the population in some round.
+    double peak_fraction = 0.0;
+    uint64_t peak_round = 0;
+    for (const TimelineRoundObservation& round : timeline_rounds_) {
+      if (round.peak_backlog_fraction > peak_fraction) {
+        peak_fraction = round.peak_backlog_fraction;
+        peak_round = round.round;
+      }
+    }
+    if (peak_fraction > herd_overload_fraction_) {
+      alerts.push_back(
+          HealthAlert{HealthAlertKind::kHerdOverload,
+                      {},
+                      "bootstrap retry herd peaked at " +
+                          std::to_string(static_cast<int>(peak_fraction * 100.0 + 0.5)) +
+                          "% of the population in round " + std::to_string(peak_round)});
+    }
+  }
   return alerts;
 }
 
@@ -215,6 +296,8 @@ void HealthMonitor::Reset() {
   received_from_.clear();
   rejects_.clear();
   consensus_.clear();
+  undeliverable_ = 0;
+  timeline_rounds_.clear();
 }
 
 }  // namespace tordir

@@ -18,6 +18,18 @@
 //   * kBandwidthInflation  — an authority's vote claims a total relay
 //                            bandwidth far above the median of its peers
 //                            (the TorMult-style inflation attack)
+//   * kDroppedMessages     — the network silently dropped directory messages
+//                            whose links could never carry them (flooded or
+//                            dead NICs) — the §4 flood made observable
+//   * kSlowRecovery        — a multi-round timeline stayed degraded past the
+//                            allowed number of rounds after its fault
+//                            calendar cleared
+//   * kHerdOverload        — the post-outage bootstrap retry herd peaked
+//                            above the allowed fraction of the population
+//
+// The last two come from the *timeline* feed (RecordTimelineRound): a
+// multi-round engine reports one observation per round and Analyze() scans
+// the horizon for recovery pathologies no single round can see.
 //
 // Detection does not *fix* the protocol (the paper's point), but it is the
 // deployed mitigation for the current network and gives operators the Fig. 1
@@ -46,6 +58,9 @@ enum class HealthAlertKind {
   kMalformedVote,
   kReplayedVote,
   kBandwidthInflation,
+  kDroppedMessages,
+  kSlowRecovery,
+  kHerdOverload,
 };
 
 const char* HealthAlertName(HealthAlertKind kind);
@@ -78,6 +93,22 @@ struct VoteObservation {
   uint64_t total_bandwidth = 0;
 };
 
+// What a multi-round timeline engine observed of one round, fed through
+// RecordTimelineRound so Analyze() can scan the whole horizon: which rounds
+// the fault calendar touched, whether clients ended the round served fresh,
+// and how large the bootstrap retry backlog grew relative to the population.
+struct TimelineRoundObservation {
+  uint64_t round = 0;
+  // The calendar injected a fault overlapping this round (attack window,
+  // crash/recovery, byzantine behavior).
+  bool faulted = false;
+  // Clients were being served a *fresh* document at the round boundary.
+  bool fresh_at_end = false;
+  // Peak blocked-bootstrap backlog this round / population size (0 when the
+  // engine ran without a client plane).
+  double peak_backlog_fraction = 0.0;
+};
+
 class HealthMonitor {
  public:
   explicit HealthMonitor(uint32_t authority_count) : authority_count_(authority_count) {}
@@ -102,6 +133,19 @@ class HealthMonitor {
   // (`digest` of the unsigned body); nullopt when it failed to produce one.
   void RecordConsensus(torbase::NodeId authority,
                        std::optional<torcrypto::Digest256> digest);
+
+  // Records `count` directory messages the network dropped because their
+  // links could never carry them (flooded or dead NICs). Accumulates.
+  void RecordUndeliverable(uint64_t count);
+
+  // Timeline feed: one observation per round of a multi-round horizon, in
+  // round order. Analyze() raises kSlowRecovery when serving stays degraded
+  // more than slow_recovery_rounds past the last faulted round, and
+  // kHerdOverload when any round's backlog fraction exceeds
+  // herd_overload_fraction.
+  void RecordTimelineRound(const TimelineRoundObservation& observation);
+  void set_slow_recovery_rounds(uint32_t rounds) { slow_recovery_rounds_ = rounds; }
+  void set_herd_overload_fraction(double fraction) { herd_overload_fraction_ = fraction; }
 
   // Evaluates the period and returns all alerts (empty = healthy).
   std::vector<HealthAlert> Analyze() const;
@@ -131,6 +175,18 @@ class HealthMonitor {
   std::map<torbase::NodeId, std::map<VoteRejectReason, RejectStat>> rejects_;
   // authority -> consensus digest (if it produced one).
   std::map<torbase::NodeId, std::optional<torcrypto::Digest256>> consensus_;
+
+  // Undeliverable-message drops reported for this period (or horizon).
+  uint64_t undeliverable_ = 0;
+
+  // Timeline feed, in record order; empty outside multi-round analyses.
+  std::vector<TimelineRoundObservation> timeline_rounds_;
+  // A recovery is "slow" when clients are still not served fresh this many
+  // full rounds after the calendar's last faulted round.
+  uint32_t slow_recovery_rounds_ = 1;
+  // A retry herd is an overload when blocked bootstraps exceed this fraction
+  // of the whole population.
+  double herd_overload_fraction_ = 0.25;
 };
 
 }  // namespace tordir

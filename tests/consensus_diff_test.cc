@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/thread_pool.h"
@@ -244,6 +245,85 @@ TEST(ConsensusDiffFuzzTest, MutatedBasesNeverProduceWrongBytes) {
     const auto patched = ApplyConsensusDiff(mutant, diff);
     if (patched.ok()) {
       EXPECT_EQ(*patched, target_text) << "corrupted base slipped through, seed " << seed;
+    }
+  }
+}
+
+// A stream of consecutive rounds at live churn rates: documents[0] is the
+// held base, documents[i+1] = ChurnConsensus(documents[i]).
+std::vector<ConsensusDocument> ChurnStream(size_t rounds) {
+  std::vector<ConsensusDocument> documents;
+  documents.push_back(BuildConsensus(200, 17));
+  ConsensusChurnConfig churn;
+  churn.change_fraction = 0.02;
+  churn.remove_fraction = 0.01;
+  churn.add_fraction = 0.01;
+  for (size_t i = 0; i < rounds; ++i) {
+    churn.seed = 100 + i;
+    documents.push_back(ChurnConsensus(documents.back(), churn));
+  }
+  return documents;
+}
+
+std::vector<std::string> StreamDiffs(const std::vector<ConsensusDocument>& documents) {
+  std::vector<std::string> diffs;
+  for (size_t i = 0; i + 1 < documents.size(); ++i) {
+    diffs.push_back(ComputeConsensusDiff(documents[i], documents[i + 1]));
+  }
+  return diffs;
+}
+
+TEST(ConsensusDiffChainTest, ComposedChainIsByteIdenticalToFullDocument) {
+  // Serving a client N rounds behind: composing the per-round diffs must land
+  // on exactly the bytes of the newest full document, for every depth.
+  const std::vector<ConsensusDocument> documents = ChurnStream(6);
+  const std::vector<std::string> diffs = StreamDiffs(documents);
+  const std::string base_text = SerializeConsensus(documents.front());
+
+  for (size_t depth = 0; depth <= diffs.size(); ++depth) {
+    const std::vector<std::string_view> chain(diffs.begin(),
+                                              diffs.begin() + static_cast<ptrdiff_t>(depth));
+    const auto patched = ApplyConsensusDiffChain(base_text, chain);
+    ASSERT_TRUE(patched.ok()) << "depth " << depth << ": " << patched.status().ToString();
+    EXPECT_EQ(*patched, SerializeConsensus(documents[depth])) << "depth " << depth;
+  }
+}
+
+TEST(ConsensusDiffChainTest, ChainRefusesWrongAnchorGapsAndCorruptLinks) {
+  const std::vector<ConsensusDocument> documents = ChurnStream(4);
+  const std::vector<std::string> diffs = StreamDiffs(documents);
+  const std::string base_text = SerializeConsensus(documents.front());
+  const std::vector<std::string_view> chain(diffs.begin(), diffs.end());
+
+  // Anchored to a document the chain does not start from: always refused,
+  // even though per-link verify_base is off by default.
+  const auto wrong_anchor =
+      ApplyConsensusDiffChain(SerializeConsensus(documents[1]), chain);
+  EXPECT_FALSE(wrong_anchor.ok());
+
+  // A gap in the middle breaks the base->target digest linkage.
+  std::vector<std::string_view> gapped = {diffs[0], diffs[2], diffs[3]};
+  EXPECT_FALSE(ApplyConsensusDiffChain(base_text, gapped).ok());
+
+  // Reordered links break it too.
+  std::vector<std::string_view> reordered = {diffs[1], diffs[0], diffs[2], diffs[3]};
+  EXPECT_FALSE(ApplyConsensusDiffChain(base_text, reordered).ok());
+
+  // A corrupted link anywhere refuses the whole application — never a
+  // silently wrong document.
+  for (size_t i = 0; i < diffs.size(); ++i) {
+    for (uint64_t seed = 1; seed <= 40; ++seed) {
+      std::vector<std::string> mutated = diffs;
+      mutated[i] = MutateWire(diffs[i], seed);
+      if (mutated[i] == diffs[i]) {
+        continue;
+      }
+      const std::vector<std::string_view> views(mutated.begin(), mutated.end());
+      const auto patched = ApplyConsensusDiffChain(base_text, views);
+      if (patched.ok()) {
+        EXPECT_EQ(*patched, SerializeConsensus(documents.back()))
+            << "accepted corrupted link " << i << " seed " << seed << " produced wrong bytes";
+      }
     }
   }
 }

@@ -111,6 +111,9 @@ TEST(HealthMonitorTest, AlertNamesAreStable) {
   EXPECT_STREQ(HealthAlertName(HealthAlertKind::kMalformedVote), "malformed-vote");
   EXPECT_STREQ(HealthAlertName(HealthAlertKind::kReplayedVote), "replayed-vote");
   EXPECT_STREQ(HealthAlertName(HealthAlertKind::kBandwidthInflation), "bandwidth-inflation");
+  EXPECT_STREQ(HealthAlertName(HealthAlertKind::kDroppedMessages), "dropped-messages");
+  EXPECT_STREQ(HealthAlertName(HealthAlertKind::kSlowRecovery), "slow-recovery");
+  EXPECT_STREQ(HealthAlertName(HealthAlertKind::kHerdOverload), "herd-overload");
 }
 
 // --- admission-evidence taxonomy ---------------------------------------------
@@ -243,6 +246,103 @@ TEST(HealthMonitorTaxonomyTest, RejectedVotesStillCountAsMissing) {
   EXPECT_EQ(alerts[1].kind, HealthAlertKind::kMissingVotes);
   EXPECT_EQ(alerts[1].authorities, (std::vector<torbase::NodeId>{0}));
   EXPECT_DOUBLE_EQ(alerts[1].first_evidence_seconds, -1.0);  // absence: no instant
+}
+
+// --- network drops and timeline pathologies ----------------------------------
+
+TEST(HealthMonitorTimelineTest, UndeliverableDropsRaiseDroppedMessages) {
+  HealthMonitor monitor(9);
+  monitor.RecordUndeliverable(0);
+  EXPECT_TRUE(monitor.Analyze().empty());  // zero drops are not evidence
+
+  monitor.RecordUndeliverable(5);
+  monitor.RecordUndeliverable(2);  // accumulates across reports
+  const auto alerts = monitor.Analyze();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, HealthAlertKind::kDroppedMessages);
+  EXPECT_TRUE(alerts[0].authorities.empty());
+  EXPECT_NE(alerts[0].detail.find("7 directory messages"), std::string::npos);
+  EXPECT_DOUBLE_EQ(alerts[0].first_evidence_seconds, -1.0);
+
+  monitor.Reset();
+  EXPECT_TRUE(monitor.Analyze().empty());
+}
+
+// Feeds a horizon where rounds [0, faulted_through] are faulted and freshness
+// returns at round fresh_from (never, when >= total).
+void FillTimeline(HealthMonitor& monitor, uint64_t total, uint64_t faulted_through,
+                  uint64_t fresh_from, double backlog_fraction = 0.0) {
+  for (uint64_t r = 0; r < total; ++r) {
+    TimelineRoundObservation round;
+    round.round = r;
+    round.faulted = r <= faulted_through;
+    round.fresh_at_end = r >= fresh_from;
+    round.peak_backlog_fraction = round.fresh_at_end ? 0.0 : backlog_fraction;
+    monitor.RecordTimelineRound(round);
+  }
+}
+
+TEST(HealthMonitorTimelineTest, PromptRecoveryRaisesNothing) {
+  HealthMonitor monitor(9);
+  // Faulted through round 3, fresh again by the end of round 4: within the
+  // default one-round allowance.
+  FillTimeline(monitor, 12, 3, 4);
+  EXPECT_TRUE(monitor.Analyze().empty());
+}
+
+TEST(HealthMonitorTimelineTest, LingeringDegradationIsSlowRecovery) {
+  HealthMonitor monitor(9);
+  // Fault cleared after round 3 but serving only recovered at round 7: three
+  // degraded tail rounds exceed the one-round default.
+  FillTimeline(monitor, 12, 3, 7);
+  const auto alerts = monitor.Analyze();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, HealthAlertKind::kSlowRecovery);
+  EXPECT_NE(alerts[0].detail.find("3 rounds"), std::string::npos);
+
+  // A laxer allowance clears it.
+  HealthMonitor lax(9);
+  lax.set_slow_recovery_rounds(3);
+  FillTimeline(lax, 12, 3, 7);
+  EXPECT_TRUE(lax.Analyze().empty());
+}
+
+TEST(HealthMonitorTimelineTest, NeverRecoveringIsSlowRecovery) {
+  HealthMonitor monitor(9);
+  FillTimeline(monitor, 12, 3, /*fresh_from=*/12);
+  const auto alerts = monitor.Analyze();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, HealthAlertKind::kSlowRecovery);
+  EXPECT_NE(alerts[0].detail.find("never returned"), std::string::npos);
+}
+
+TEST(HealthMonitorTimelineTest, FaultInTheLastRoundCannotBeJudged) {
+  // No tail rounds after the last faulted one: nothing to measure recovery
+  // against, so no alert (the next horizon will tell).
+  HealthMonitor monitor(9);
+  FillTimeline(monitor, 6, /*faulted_through=*/5, /*fresh_from=*/6);
+  EXPECT_TRUE(monitor.Analyze().empty());
+}
+
+TEST(HealthMonitorTimelineTest, OversizedRetryHerdIsHerdOverload) {
+  HealthMonitor monitor(9);
+  // Backlog peaked at 40% of the population in the degraded rounds.
+  FillTimeline(monitor, 12, 3, 4, /*backlog_fraction=*/0.4);
+  const auto alerts = monitor.Analyze();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, HealthAlertKind::kHerdOverload);
+  EXPECT_NE(alerts[0].detail.find("40%"), std::string::npos);
+
+  // Below the threshold (default 25%) the herd is expected behavior.
+  HealthMonitor calm(9);
+  FillTimeline(calm, 12, 3, 4, /*backlog_fraction=*/0.2);
+  EXPECT_TRUE(calm.Analyze().empty());
+
+  // The threshold is a knob.
+  HealthMonitor strict(9);
+  strict.set_herd_overload_fraction(0.1);
+  FillTimeline(strict, 12, 3, 4, /*backlog_fraction=*/0.2);
+  ASSERT_EQ(strict.Analyze().size(), 1u);
 }
 
 }  // namespace

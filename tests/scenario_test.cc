@@ -223,6 +223,28 @@ TEST(ScenarioTest, ChurnRecoverRestoresTheConfiguredRate) {
   EXPECT_GT(result.finish_time_seconds, torbase::ToSeconds(Minutes(5)));
 }
 
+TEST(ScenarioTest, UndeliverableDropsAreSurfacedAndAlerted) {
+  // A node that is down for the whole run silently eats every message sent to
+  // it; those drops must show up in the result and as a dropped-messages
+  // health alert. A clean run drops nothing.
+  ScenarioSpec spec = SmallSpec("current");
+  spec.churn.push_back({0, 0, ChurnEvent::Kind::kCrash});
+  ScenarioRunner runner;
+  const auto result = runner.Run(spec);
+  EXPECT_GT(result.undeliverable_messages, 0u);
+  bool dropped = false;
+  for (const auto& alert : result.health_alerts) {
+    dropped |= alert.kind == tordir::HealthAlertKind::kDroppedMessages;
+  }
+  EXPECT_TRUE(dropped);
+
+  const auto clean = runner.Run(SmallSpec("current"));
+  EXPECT_EQ(clean.undeliverable_messages, 0u);
+  for (const auto& alert : clean.health_alerts) {
+    EXPECT_NE(alert.kind, tordir::HealthAlertKind::kDroppedMessages);
+  }
+}
+
 TEST(ScenarioTest, SweepRunsEveryCellInOrder) {
   std::vector<ScenarioSpec> specs;
   for (const char* protocol : {"current", "icps"}) {
@@ -540,7 +562,7 @@ TEST(ByzantineScenarioTest, IcpsStaysLiveBelowOneThirdFaulty) {
 // the comparison; (2) the size pin makes adding a field without revisiting
 // BitIdentical (and this test) a compile error on the reference ABI.
 #if defined(__GLIBCXX__) && defined(__x86_64__) && !defined(_GLIBCXX_DEBUG)
-static_assert(sizeof(ScenarioResult) == 336 && sizeof(ClientAvailabilityResult) == 120,
+static_assert(sizeof(ScenarioResult) == 368 && sizeof(ClientAvailabilityResult) == 120,
               "ScenarioResult changed shape: extend BitIdentical (scenario.h), the mutation "
               "sweep in ResultFieldListIsCoveredByBitIdentical, then update these constants");
 #endif
@@ -555,6 +577,8 @@ TEST(ScenarioResultContractTest, ResultFieldListIsCoveredByBitIdentical) {
     r.consensus_relays = 100;
     r.total_bytes_sent = 1000;
     r.bytes_by_kind = {{"VOTE", 10}};
+    r.undeliverable_messages = 3;
+    r.consensus_holders = {0, 1, 2};
     r.attack_history = {torattack::AttackSample{1, {0}, 2.0}};
     r.consensus_published_seconds = 3.0;
     r.consensus_valid_after = 4;
@@ -607,6 +631,8 @@ TEST(ScenarioResultContractTest, ResultFieldListIsCoveredByBitIdentical) {
       [](ScenarioResult& r) { r.consensus_relays += 1; },
       [](ScenarioResult& r) { r.total_bytes_sent += 1; },
       [](ScenarioResult& r) { r.bytes_by_kind["VOTE"] += 1; },
+      [](ScenarioResult& r) { r.undeliverable_messages += 1; },
+      [](ScenarioResult& r) { r.consensus_holders.push_back(3); },
       [](ScenarioResult& r) { r.attack_history[0].at += 1; },
       [](ScenarioResult& r) { r.consensus_published_seconds += 1; },
       [](ScenarioResult& r) { r.consensus_valid_after += 1; },
