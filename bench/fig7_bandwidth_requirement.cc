@@ -64,6 +64,14 @@ int main() {
   }
   table.Print(std::cout);
 
+  // The searches run on the shared runner's result memo: every probe spec is
+  // digested and memoized, so each search's final invariant confirmation (and
+  // any probe the grid revisits) is served from the memo instead of paying a
+  // re-simulation. Surface the redundancy next to the table.
+  const size_t memo_runs = runner.result_memo_hits() + runner.result_memo_misses();
+  std::printf("\nresult memo: %zu of %zu probe runs served from the memo (%zu simulated)\n",
+              runner.result_memo_hits(), memo_runs, runner.result_memo_misses());
+
   // With-diffs serving series: the same relay axis priced in served bytes.
   // Steady-state clients (95%) fetch hourly; 80% of them are diff-capable
   // (the client_availability cohort); bootstraps always need the full

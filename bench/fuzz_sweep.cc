@@ -8,7 +8,10 @@
 //     authorities are faulty (byzantine or permanently crashed);
 //   * clean cells (no attack, no churn, no byzantine) succeed alert-free;
 //   * single-behavior clean cells raise the behavior's signature alert kind;
-//   * the parallel sweep (8 threads) is bit-identical to the serial one.
+//   * the parallel sweep (8 threads) is bit-identical to the serial one;
+//   * the result memo is invisible: replaying the grid on the warm runner is
+//     all memo hits and bit-identical, and every timeline case recomputed on
+//     a memo-disabled runner matches the memoized result exactly.
 //
 // A second leg runs multi-round fault calendars through RunTimeline: byzantine
 // behaviors flipping on and off mid-horizon (every calendar-injected
@@ -216,10 +219,11 @@ struct Violations {
   uint64_t missing_signature_alerts = 0;
   uint64_t divergent_cells = 0;
   uint64_t timeline_violations = 0;
+  uint64_t memo_divergences = 0;
 
   uint64_t Total() const {
     return undetected_faults + icps_liveness + unclean_clean_cells + missing_signature_alerts +
-           divergent_cells + timeline_violations;
+           divergent_cells + timeline_violations + memo_divergences;
   }
 };
 
@@ -345,10 +349,17 @@ std::vector<TimelineCase> TimelineCases(const std::vector<uint64_t>& seeds) {
 }
 
 void CheckTimeline(const TimelineCase& tc, const torscenario::TimelineResult& serial,
-                   const torscenario::TimelineResult& parallel, Violations& violations) {
+                   const torscenario::TimelineResult& parallel,
+                   const torscenario::TimelineResult& unmemoized, Violations& violations) {
   if (!BitIdentical(serial, parallel)) {
     ++violations.timeline_violations;
     std::printf("FAIL %-40s parallel timeline diverged from serial\n", tc.name.c_str());
+  }
+  // The memo-off differential: recomputing every round from scratch must
+  // reproduce the (potentially memoized) serial artifact bit-for-bit.
+  if (!BitIdentical(serial, unmemoized)) {
+    ++violations.memo_divergences;
+    std::printf("FAIL %-40s memo-off timeline diverged from memoized\n", tc.name.c_str());
   }
   if (serial.byzantine_injected != tc.expected_injections) {
     ++violations.timeline_violations;
@@ -381,11 +392,14 @@ void CheckTimeline(const TimelineCase& tc, const torscenario::TimelineResult& se
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool memoize = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--no-memo") == 0) {
+      memoize = false;  // run the whole grid with the result memo disabled
     } else {
-      std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--no-memo]\n", argv[0]);
       return 2;
     }
   }
@@ -403,9 +417,11 @@ int main(int argc, char** argv) {
   }
 
   torscenario::ScenarioRunner serial_runner;
+  serial_runner.set_memoize(memoize);
   const std::vector<ScenarioResult> serial = serial_runner.Sweep(specs);
 
   torscenario::ScenarioRunner parallel_runner;
+  parallel_runner.set_memoize(memoize);
   const std::vector<ScenarioResult> parallel =
       parallel_runner.Sweep(specs, torscenario::SweepOptions{8});
 
@@ -432,15 +448,43 @@ int main(int argc, char** argv) {
     alerts_total += serial[i].health_alerts.size();
   }
 
-  // The timeline leg: multi-round calendars, serial vs 8 threads.
+  // Memo replay leg: sweeping the identical grid again on the warm serial
+  // runner must serve every cell from the result memo — all hits, no fresh
+  // simulations — and the served results must be bit-identical.
+  uint64_t memo_replay_hits = 0;
+  if (memoize) {
+    const size_t hits_before = serial_runner.result_memo_hits();
+    const size_t misses_before = serial_runner.result_memo_misses();
+    const std::vector<ScenarioResult> replayed = serial_runner.Sweep(specs);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (!BitIdentical(serial[i], replayed[i])) {
+        ++violations.memo_divergences;
+        std::printf("FAIL %-40s memo replay diverged from first sweep\n",
+                    cells[i].spec.name.c_str());
+      }
+    }
+    memo_replay_hits = serial_runner.result_memo_hits() - hits_before;
+    if (memo_replay_hits != specs.size() ||
+        serial_runner.result_memo_misses() != misses_before) {
+      ++violations.memo_divergences;
+      std::printf("FAIL grid replay missed the memo: %llu of %zu cells served as hits\n",
+                  static_cast<unsigned long long>(memo_replay_hits), specs.size());
+    }
+  }
+
+  // The timeline leg: multi-round calendars, serial vs 8 threads vs a
+  // memo-disabled recomputation.
   const std::vector<TimelineCase> timeline_cases = TimelineCases(seeds);
+  torscenario::ScenarioRunner nomemo_runner;
+  nomemo_runner.set_memoize(false);
   uint64_t timeline_injected = 0;
   uint64_t timeline_rejoins = 0;
   for (const TimelineCase& tc : timeline_cases) {
     const torscenario::TimelineResult timeline_serial = serial_runner.RunTimeline(tc.timeline);
     const torscenario::TimelineResult timeline_parallel =
         parallel_runner.RunTimeline(tc.timeline, torscenario::SweepOptions{8});
-    CheckTimeline(tc, timeline_serial, timeline_parallel, violations);
+    const torscenario::TimelineResult timeline_nomemo = nomemo_runner.RunTimeline(tc.timeline);
+    CheckTimeline(tc, timeline_serial, timeline_parallel, timeline_nomemo, violations);
     timeline_injected += timeline_serial.byzantine_injected;
     timeline_rejoins += timeline_serial.rejoins.size();
   }
@@ -457,6 +501,8 @@ int main(int argc, char** argv) {
   table.AddRow(
       {"Missing signature alerts", torbase::Table::Int(violations.missing_signature_alerts)});
   table.AddRow({"Serial/parallel divergences", torbase::Table::Int(violations.divergent_cells)});
+  table.AddRow({"Memo replay hits", torbase::Table::Int(memo_replay_hits)});
+  table.AddRow({"Memo divergences", torbase::Table::Int(violations.memo_divergences)});
   table.AddRow({"Timeline cases", torbase::Table::Int(timeline_cases.size())});
   table.AddRow({"Timeline calendar injections", torbase::Table::Int(timeline_injected)});
   table.AddRow({"Timeline rejoins", torbase::Table::Int(timeline_rejoins)});
@@ -468,6 +514,6 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nAll cells clean: every fault detected, ICPS live below 1/3 faulty, "
-              "parallel == serial.\n");
+              "parallel == serial, memo invisible.\n");
   return 0;
 }

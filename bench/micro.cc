@@ -5,7 +5,11 @@
 // experiment harness.
 #include <benchmark/benchmark.h>
 
+#include "src/attack/ddos.h"
+#include "src/attack/schedule.h"
 #include "src/common/thread_pool.h"
+#include "src/scenario/runner.h"
+#include "src/scenario/spec_digest.h"
 #include "src/crypto/hmac.h"
 #include "src/crypto/sha256.h"
 #include "src/crypto/sha256_batch.h"
@@ -316,5 +320,64 @@ void BM_CopyVoteDocument(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_CopyVoteDocument)->Arg(8000);
+
+// --- scenario result memo ----------------------------------------------------
+
+// A field-rich spec exercising every branch of the canonical description:
+// windowed attack with per-target overrides, churn, byzantine behaviors, a
+// full client plane, heterogeneous bandwidth.
+torscenario::ScenarioSpec MakeRichSpec() {
+  torscenario::ScenarioSpec spec;
+  spec.name = "bench";
+  spec.protocol = "current";
+  spec.relay_count = 800;
+  spec.seed = 1;
+  spec.bandwidth_by_authority = {{2, 50e6}, {5, 25e6}};
+  torattack::AttackWindow window;
+  window.targets = torattack::FirstTargets(5);
+  window.start = 0;
+  window.end = torbase::Minutes(5);
+  window.available_bps = 0.0;
+  window.available_bps_by_target = {{2, 1e6}};
+  spec.attack = std::make_shared<torattack::WindowedAttack>(
+      std::vector<torattack::AttackWindow>{window});
+  spec.churn = {torscenario::ChurnEvent{7, torbase::Minutes(3),
+                                        torscenario::ChurnEvent::Kind::kCrash}};
+  spec.byzantine.behaviors[4] = torproto::ByzantineBehavior::kEquivocate;
+  spec.client_load.client_count = 5'000'000;
+  spec.client_load.diff_capable_fraction = 0.8;
+  return spec;
+}
+
+// The memo's fixed cost per probe: serialize the spec canonically and hash
+// it. This is what a memoized (quiet) round pays instead of a simulation —
+// it must stay orders of magnitude below BM_TimelineRound/faulted.
+void BM_SpecDigest(benchmark::State& state) {
+  const torscenario::ScenarioSpec spec = MakeRichSpec();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(torscenario::SpecDigest(spec));
+  }
+}
+BENCHMARK(BM_SpecDigest);
+
+// One timeline round, both ways the engine prices it: `quiet` re-runs a spec
+// the runner has already memoized (digest probe + shared_ptr copy), `faulted`
+// disables the memo and pays the full simulation. The ratio is the round
+// memoization win on the ~95% of a long horizon the fault calendar never
+// touches.
+void BM_TimelineRound(benchmark::State& state) {
+  const bool memoized = state.range(0) != 0;
+  torscenario::ScenarioSpec spec = MakeRichSpec();
+  spec.client_load.client_count = 0;  // rounds defer the client plane to the stitch
+  spec.horizon = torbase::Hours(1);
+  spec.retain_consensus = true;
+  torscenario::ScenarioRunner runner;
+  runner.set_memoize(memoized);
+  benchmark::DoNotOptimize(runner.Run(spec));  // warm: workload cache + memo
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.Run(spec));
+  }
+}
+BENCHMARK(BM_TimelineRound)->ArgName("memo")->Arg(1)->Arg(0);
 
 }  // namespace

@@ -576,6 +576,9 @@ struct TimelineMicro {
   size_t rejoin_count = 0;
   double peak_retry_backlog = 0.0;
   bool plane_enabled = false;
+  size_t memo_hits = 0;
+  size_t memo_misses = 0;
+  double memo_hit_rate = 0.0;
 };
 
 // The long-horizon row: a week of hourly rounds (24 in --quick) under a fault
@@ -584,11 +587,20 @@ struct TimelineMicro {
 // integrated across the whole horizon, all in one RunTimeline call fanned
 // onto the sweep pool. The floor pins end-to-end round throughput: a
 // regression anywhere in the stack (simulation, stitch, diff codec, client
-// plane) drags rounds/s down. Measured ~35 rounds/s on a single-core CI
-// container at 800 relays; the floor sits ~8x below that so only a
-// structural regression (per-round reserialization, a quadratic stitch, an
-// eventful client plane) trips it on any hardware tier.
-constexpr double kMinTimelineRoundsPerSecond = 4.0;
+// plane, result memo) drags rounds/s down. With the spec-digest result memo
+// (the ~160 quiet rounds of the week collapse to one simulation) the 7-day
+// horizon measures >100 rounds/s on a single-core CI container at 800
+// relays; the floor sits far below that but well above the ~4 rounds/s the
+// memo-less engine managed, so losing the memo — or any structural
+// regression in what remains (per-round reserialization, a quadratic
+// stitch, an eventful client plane) — trips it on any hardware tier.
+constexpr double kMinTimelineRoundsPerSecond = 12.0;
+
+// The memo's own self-check on the full 7-day calendar: 168 rounds shrink to
+// ~7 distinct simulations, a ~0.96 hit rate. Checked only on the full
+// horizon (the 24-round --quick calendar is mostly faulted, so its rate is
+// structurally lower) and only where the throughput floors apply.
+constexpr double kMinTimelineMemoHitRate = 0.8;
 
 TimelineMicro MeasureTimeline(bool quick, unsigned threads) {
   torscenario::TimelineSpec timeline;
@@ -630,6 +642,11 @@ TimelineMicro MeasureTimeline(bool quick, unsigned threads) {
   micro.rejoin_count = result.rejoins.size();
   micro.peak_retry_backlog = result.peak_retry_backlog;
   micro.plane_enabled = result.client_availability.enabled;
+  micro.memo_hits = runner.result_memo_hits();
+  micro.memo_misses = runner.result_memo_misses();
+  const size_t memo_runs = micro.memo_hits + micro.memo_misses;
+  micro.memo_hit_rate =
+      memo_runs > 0 ? static_cast<double>(micro.memo_hits) / static_cast<double>(memo_runs) : 0.0;
   return micro;
 }
 
@@ -770,8 +787,10 @@ int main(int argc, char** argv) {
   const TimelineMicro timeline = MeasureTimeline(quick, threads);
   std::printf("  %u rounds       : %7.2f s wall  (%.2f rounds/s)\n", timeline.rounds,
               timeline.wall_seconds, timeline.rounds_per_second);
-  std::printf("  horizon         : %u published, %zu rejoin(s), peak backlog %.0f\n\n",
+  std::printf("  horizon         : %u published, %zu rejoin(s), peak backlog %.0f\n",
               timeline.successful_rounds, timeline.rejoin_count, timeline.peak_retry_backlog);
+  std::printf("  result memo     : %zu hit(s) / %zu simulated  (%.1f%% hit rate)\n\n",
+              timeline.memo_hits, timeline.memo_misses, timeline.memo_hit_rate * 100.0);
 
   std::printf("serial sweep...\n");
   torscenario::ScenarioRunner serial_runner;
@@ -879,6 +898,12 @@ int main(int argc, char** argv) {
        << "    \"successful_rounds\": " << timeline.successful_rounds << ",\n"
        << "    \"rejoins\": " << timeline.rejoin_count << ",\n"
        << "    \"peak_retry_backlog\": " << timeline.peak_retry_backlog << ",\n"
+       << "    \"memo_hits\": " << timeline.memo_hits << ",\n"
+       << "    \"memo_misses\": " << timeline.memo_misses << ",\n"
+       << "    \"memo_hit_rate\": " << timeline.memo_hit_rate << ",\n"
+       << "    \"memo_hit_rate_floor\": " << kMinTimelineMemoHitRate << ",\n"
+       << "    \"memo_floor_enforced\": "
+       << ((!quick && kThroughputFloorsApply) ? "true" : "false") << ",\n"
        << "    \"rounds_per_second_floor\": " << kMinTimelineRoundsPerSecond << ",\n"
        << "    \"floor_enforced\": " << (kThroughputFloorsApply ? "true" : "false") << "\n"
        << "  },\n"
@@ -983,6 +1008,14 @@ int main(int argc, char** argv) {
   if (kThroughputFloorsApply && timeline.rounds_per_second < kMinTimelineRoundsPerSecond) {
     std::fprintf(stderr, "REGRESSION: timeline below %.1f rounds/s (%.2f)\n",
                  kMinTimelineRoundsPerSecond, timeline.rounds_per_second);
+    return 1;
+  }
+  if (!quick && kThroughputFloorsApply && timeline.memo_hit_rate < kMinTimelineMemoHitRate) {
+    std::fprintf(stderr,
+                 "REGRESSION: timeline memo hit rate %.2f below %.2f "
+                 "(%zu hits / %zu misses) — quiet rounds are not deduplicating\n",
+                 timeline.memo_hit_rate, kMinTimelineMemoHitRate, timeline.memo_hits,
+                 timeline.memo_misses);
     return 1;
   }
   return 0;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <map>
 
+#include "src/common/serialize.h"
+
 namespace torattack {
 namespace {
 
@@ -120,6 +122,51 @@ void AdaptiveLeaderAttack::Install(torsim::Harness& harness, const AttackContext
   harness.sim().ScheduleAt(config_.start, [this, &harness, context, end] {
     Retarget(harness, context, 0, end);
   });
+}
+
+// --- canonical descriptions --------------------------------------------------
+// Every config field that can influence Install() is written, in declaration
+// order, behind the schedule's name; history never is. Keep each description
+// in lock-step with its config struct — torscenario's
+// SpecFieldListIsCoveredByDigest mutation sweep pins the coverage.
+
+void WindowedAttack::Describe(torbase::Writer& writer) const {
+  writer.WriteString(name());
+  writer.WriteU32(static_cast<uint32_t>(windows_.size()));
+  for (const AttackWindow& window : windows_) {
+    writer.WriteU32(static_cast<uint32_t>(window.targets.size()));
+    for (const torbase::NodeId target : window.targets) {
+      writer.WriteU32(target);
+    }
+    writer.WriteU64(window.start);
+    writer.WriteU64(window.end);
+    writer.WriteF64(window.available_bps);
+    writer.WriteU32(static_cast<uint32_t>(window.available_bps_by_target.size()));
+    for (const auto& [target, bps] : window.available_bps_by_target) {
+      writer.WriteU32(target);
+      writer.WriteF64(bps);
+    }
+  }
+}
+
+void RollingAttack::Describe(torbase::Writer& writer) const {
+  writer.WriteString(name());
+  writer.WriteU32(config_.victim_count);
+  writer.WriteU64(config_.start);
+  writer.WriteU64(config_.end);
+  writer.WriteU64(config_.period);
+  writer.WriteF64(config_.available_bps);
+  writer.WriteU32(config_.stride);
+  writer.WriteU64(config_.seed);
+}
+
+void AdaptiveLeaderAttack::Describe(torbase::Writer& writer) const {
+  writer.WriteString(name());
+  writer.WriteU32(config_.victim_count);
+  writer.WriteU64(config_.start);
+  writer.WriteU64(config_.end);
+  writer.WriteU64(config_.period);
+  writer.WriteF64(config_.available_bps);
 }
 
 }  // namespace torattack

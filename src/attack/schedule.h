@@ -30,6 +30,10 @@
 #include "src/common/time.h"
 #include "src/sim/actor.h"
 
+namespace torbase {
+class Writer;
+}
+
 namespace torattack {
 
 // What the runner tells a schedule about the run it is being installed into.
@@ -68,6 +72,15 @@ class AttackSchedule {
   // never share the mutable install/history state.
   virtual std::shared_ptr<AttackSchedule> Clone() const = 0;
 
+  // Writes a canonical, field-complete description of this schedule's
+  // *configuration* — the bytes torscenario::SpecDigest hashes to decide
+  // whether two scenario specs would simulate identically. Contract: every
+  // config field that can influence Install()'s behavior must be written
+  // (tagged, in a fixed order, starting with name()); mutable per-run state
+  // (history) must not be. Two schedules with equal descriptions must run
+  // identically; a Clone() must describe identically to its original.
+  virtual void Describe(torbase::Writer& writer) const = 0;
+
   // Victim history of the most recent run (cleared by the runner on install).
   const std::vector<AttackSample>& history() const { return history_; }
   void ClearHistory() { history_.clear(); }
@@ -91,6 +104,7 @@ class WindowedAttack : public AttackSchedule {
   std::shared_ptr<AttackSchedule> Clone() const override {
     return std::make_shared<WindowedAttack>(windows_);
   }
+  void Describe(torbase::Writer& writer) const override;
 
   std::vector<AttackWindow>& windows() { return windows_; }
 
@@ -124,6 +138,7 @@ class RollingAttack : public AttackSchedule {
   std::shared_ptr<AttackSchedule> Clone() const override {
     return std::make_shared<RollingAttack>(config_);
   }
+  void Describe(torbase::Writer& writer) const override;
 
   // The victim set of epoch `epoch` among `authority_count` authorities —
   // exposed so tests can assert the exact deterministic sequence.
@@ -154,6 +169,7 @@ class AdaptiveLeaderAttack : public AttackSchedule {
   std::shared_ptr<AttackSchedule> Clone() const override {
     return std::make_shared<AdaptiveLeaderAttack>(config_);
   }
+  void Describe(torbase::Writer& writer) const override;
 
  private:
   void Retarget(torsim::Harness& harness, const AttackContext& context, uint64_t epoch,

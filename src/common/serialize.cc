@@ -21,6 +21,13 @@ void Writer::WriteU64(uint64_t v) {
   }
 }
 
+void Writer::WriteF64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
 void Writer::WriteBool(bool v) { WriteU8(v ? 1 : 0); }
 
 void Writer::WriteBytes(std::span<const uint8_t> data) {

@@ -24,6 +24,10 @@ class Writer {
   void WriteU16(uint16_t v);
   void WriteU32(uint32_t v);
   void WriteU64(uint64_t v);
+  // IEEE-754 bit pattern as a little-endian u64. Canonical descriptions
+  // (spec_digest) need doubles to round-trip exactly; the wire protocols
+  // themselves stay integer-only.
+  void WriteF64(double v);
   void WriteBool(bool v);
   // Length-prefixed (u32) byte string.
   void WriteBytes(std::span<const uint8_t> data);

@@ -1,5 +1,6 @@
 #include "src/metrics/experiment.h"
 
+#include <cassert>
 #include <memory>
 #include <utility>
 
@@ -68,11 +69,16 @@ double FindBandwidthRequirement(torscenario::ScenarioRunner& runner, const Exper
     spec.attack = std::make_shared<torattack::WindowedAttack>(std::move(windows));
     return runner.Run(spec).succeeded;
   };
+  // The probes below lean on the runner's result memo: every probe spec is
+  // digested and memoized, so re-probing any bandwidth the search already
+  // visited — including the confirmation of the returned requirement — is a
+  // memo hit, not a re-simulation. Drivers surface the redundancy via
+  // runner.result_memo_hits().
   if (probe(lo_bps)) {
     return lo_bps;
   }
   if (!probe(hi_bps)) {
-    return hi_bps;
+    return hi_bps;  // lower bound only; nothing succeeded, nothing to confirm
   }
   double lo = lo_bps;
   double hi = hi_bps;
@@ -84,6 +90,12 @@ double FindBandwidthRequirement(torscenario::ScenarioRunner& runner, const Exper
       lo = mid;
     }
   }
+  // Re-assert the invariant on the value we return: `hi` was probed when it
+  // became the upper bracket, so this replays from the memo and aborts the
+  // search (loudly, in debug) if the protocol does not actually succeed there.
+  const bool confirmed = probe(hi);
+  assert(confirmed && "bandwidth requirement search lost its invariant");
+  (void)confirmed;
   return hi;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "src/common/serialize.h"
 #include "src/tordir/dirspec.h"
 #include "src/tordir/wire_mutator.h"
 
@@ -49,6 +50,16 @@ const char* ByzantineBehaviorName(ByzantineBehavior behavior) {
       return "inflate-bandwidth";
   }
   return "?";
+}
+
+void ByzantineSpec::Describe(torbase::Writer& writer) const {
+  writer.WriteU32(static_cast<uint32_t>(behaviors.size()));
+  for (const auto& [node, behavior] : behaviors) {
+    writer.WriteU32(node);
+    writer.WriteU8(static_cast<uint8_t>(behavior));
+  }
+  writer.WriteU64(mutation_seed);
+  writer.WriteF64(bandwidth_multiplier);
 }
 
 AuthorityMaterials MakeFaultyMaterials(const AuthorityMaterials& honest,

@@ -28,6 +28,10 @@
 
 #include "src/protocols/directory_protocol.h"
 
+namespace torbase {
+class Writer;
+}
+
 namespace torproto {
 
 enum class ByzantineBehavior {
@@ -51,6 +55,12 @@ struct ByzantineSpec {
 
   bool empty() const { return behaviors.empty(); }
   bool operator==(const ByzantineSpec&) const = default;
+
+  // Canonical field-complete description for torscenario::SpecDigest — every
+  // field above, in order (behaviors are a std::map, so iteration order is
+  // already canonical). Keep in lock-step with the field list; the digest
+  // mutation-sweep test pins the coverage.
+  void Describe(torbase::Writer& writer) const;
 };
 
 // Derives authority `id`'s faulty materials from its honest ones. Pure and

@@ -1,6 +1,7 @@
 #include "src/scenario/runner.h"
 
 #include <algorithm>
+#include <deque>
 #include <optional>
 #include <set>
 #include <utility>
@@ -10,6 +11,7 @@
 #include "src/crypto/sha256_batch.h"
 #include "src/protocols/byzantine.h"
 #include "src/protocols/directory_protocol.h"
+#include "src/scenario/spec_digest.h"
 #include "src/tordir/consensus_diff.h"
 #include "src/tordir/dirspec.h"
 #include "src/tordir/health_monitor.h"
@@ -236,24 +238,34 @@ std::shared_ptr<const ScenarioRunner::Workload> ScenarioRunner::BuildWorkload(
 std::shared_ptr<const ScenarioRunner::Workload> ScenarioRunner::GetWorkload(
     const ScenarioSpec& spec) {
   const WorkloadKey key{spec.relay_count, spec.seed, spec.authority_count};
+  std::promise<std::shared_ptr<const Workload>> promise;
+  WorkloadFuture future;
+  bool build = false;
   {
     std::lock_guard<std::mutex> lock(workloads_mutex_);
     const auto it = workloads_.find(key);
     if (it != workloads_.end()) {
+      // Built, or in flight on another thread — either way one build serves
+      // everyone, so this is a hit (misses == builds stays exact).
       ++cache_hits_;
-      return it->second;
+      future = it->second;
+    } else {
+      ++cache_misses_;
+      future = promise.get_future().share();
+      workloads_[key] = future;
+      build = true;
     }
-    ++cache_misses_;
+  }
+  if (!build) {
+    // Blocks only while the owning thread is still inside BuildWorkload.
+    return future.get();
   }
   // Generate outside the lock: workload construction is seconds of CPU at
   // large relay counts and depends only on the key. Distinct keys generate
-  // concurrently; the same key can only be generated twice if two threads
-  // miss on it at once, which the parallel sweep's pre-materialization rules
-  // out (and which would only waste work, never corrupt: last insert wins and
-  // both copies are equivalent).
+  // concurrently; a second thread missing this key while we build finds the
+  // pending future above and shares this build instead of paying its own.
   auto workload = BuildWorkload(spec);
-  std::lock_guard<std::mutex> lock(workloads_mutex_);
-  workloads_[key] = workload;
+  promise.set_value(workload);
   return workload;
 }
 
@@ -277,11 +289,57 @@ void ScenarioRunner::ClearWorkloadCache() {
   workloads_.clear();
 }
 
+size_t ScenarioRunner::result_memo_hits() const {
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  return memo_hits_;
+}
+
+size_t ScenarioRunner::result_memo_misses() const {
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  return memo_misses_;
+}
+
+size_t ScenarioRunner::result_memo_size() const {
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  return results_.size();
+}
+
+void ScenarioRunner::ClearResultMemo() {
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  results_.clear();
+}
+
 ScenarioResult ScenarioRunner::Run(const ScenarioSpec& spec) { return Run(spec, InspectFn()); }
 
 ScenarioResult ScenarioRunner::Run(const ScenarioSpec& spec, const InspectFn& inspect) {
+  // The workload cache is probed before the memo so its telemetry counts the
+  // same probes at any thread count and with the memo on or off (the parallel
+  // sweep resolves workloads for every cell too).
   const std::shared_ptr<const Workload> workload = GetWorkload(spec);
-  return RunWithWorkload(spec, *workload, inspect);
+  // Inspected runs bypass the memo entirely: the hook needs a live harness,
+  // and whatever it observes is invisible to the digest.
+  if (!memoize_ || inspect) {
+    return RunWithWorkload(spec, *workload, inspect);
+  }
+  const torcrypto::Digest256 digest = SpecDigest(spec);
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    const auto it = results_.find(digest);
+    if (it != results_.end()) {
+      ++memo_hits_;
+      return *it->second;
+    }
+    ++memo_misses_;
+  }
+  ScenarioResult result = RunWithWorkload(spec, *workload, InspectFn());
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  // First publication wins and entries never mutate. Two threads can miss the
+  // same digest concurrently (wasted work, never corruption — both results
+  // are bit-identical by the purity contract); everyone returns the
+  // published entry so repeat callers see one value.
+  return *results_
+              .emplace(digest, std::make_shared<const ScenarioResult>(std::move(result)))
+              .first->second;
 }
 
 ScenarioResult ScenarioRunner::RunWithWorkload(const ScenarioSpec& spec, const Workload& workload,
@@ -454,63 +512,114 @@ std::vector<ScenarioResult> ScenarioRunner::Sweep(const std::vector<ScenarioSpec
   // serial sweep records (first occurrence of an uncached key is the miss,
   // repeats are hits); the cache-missing workloads themselves — generation,
   // serialization, digesting and VoteCache build, independent per key — are
-  // then built on the sweep's thread pool. Insertion back into the cache is
-  // serial and in first-appearance order, so the cache state is identical to
-  // a serial sweep's. Pool threads intern relay strings concurrently; the
-  // string pool's lock-free index keeps that race-free and ids never
-  // influence results (ROADMAP threading contract).
-  std::vector<std::shared_ptr<const Workload>> workloads(specs.size());
+  // then built on the sweep's thread pool. The pending futures are published
+  // serially in first-appearance order, so the cache state is identical to a
+  // serial sweep's (and concurrent GetWorkload callers on a shared runner
+  // join these builds instead of duplicating them). Pool threads intern
+  // relay strings concurrently; the string pool's lock-free index keeps that
+  // race-free and ids never influence results (ROADMAP threading contract).
+  std::vector<WorkloadFuture> futures(specs.size());
   std::vector<size_t> build_spec_indexes;  // first spec index per missing key
+  std::deque<std::promise<std::shared_ptr<const Workload>>> promises;
   {
     std::lock_guard<std::mutex> lock(workloads_mutex_);
-    std::map<WorkloadKey, size_t> missing;  // key -> index into build results
     for (size_t i = 0; i < specs.size(); ++i) {
       const WorkloadKey key{specs[i].relay_count, specs[i].seed, specs[i].authority_count};
       if (const auto it = workloads_.find(key); it != workloads_.end()) {
-        ++cache_hits_;
-        workloads[i] = it->second;
-      } else if (missing.emplace(key, build_spec_indexes.size()).second) {
+        ++cache_hits_;  // built, in flight elsewhere, or earlier in this sweep
+        futures[i] = it->second;
+      } else {
         ++cache_misses_;
         build_spec_indexes.push_back(i);
-      } else {
-        ++cache_hits_;  // duplicate key in this sweep: built once, shared
+        promises.emplace_back();
+        futures[i] = promises.back().get_future().share();
+        workloads_[key] = futures[i];
       }
     }
   }
   if (!build_spec_indexes.empty()) {
-    std::vector<std::shared_ptr<const Workload>> built(build_spec_indexes.size());
-    pool.ParallelFor(built.size(), [this, &specs, &build_spec_indexes, &built](size_t j) {
-      built[j] = BuildWorkload(specs[build_spec_indexes[j]]);
-    });
-    std::lock_guard<std::mutex> lock(workloads_mutex_);
-    for (size_t j = 0; j < built.size(); ++j) {
-      const ScenarioSpec& spec = specs[build_spec_indexes[j]];
-      workloads_[WorkloadKey{spec.relay_count, spec.seed, spec.authority_count}] = built[j];
+    pool.ParallelFor(build_spec_indexes.size(),
+                     [this, &specs, &build_spec_indexes, &promises](size_t j) {
+                       promises[j].set_value(BuildWorkload(specs[build_spec_indexes[j]]));
+                     });
+  }
+  std::vector<std::shared_ptr<const Workload>> workloads(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    workloads[i] = futures[i].get();
+  }
+
+  // Memo probe, serial in spec order — the same discipline as the workload
+  // cache, so hit/miss telemetry is exactly what a serial sweep records: a
+  // digest already published is a hit, the first occurrence of a new digest
+  // is the miss that runs, and repeats within this sweep are hits served by
+  // that one run.
+  enum : char { kRun = 0, kMemoized = 1, kDuplicate = 2 };
+  std::vector<ScenarioResult> results(specs.size());
+  std::vector<char> cell_state(specs.size(), kRun);
+  std::vector<torcrypto::Digest256> digests;
+  std::vector<size_t> run_indexes;  // cells that actually simulate
+  if (memoize_) {
+    digests.resize(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      digests[i] = SpecDigest(specs[i]);
+    }
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    std::set<torcrypto::Digest256> pending;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      if (const auto it = results_.find(digests[i]); it != results_.end()) {
+        ++memo_hits_;
+        results[i] = *it->second;
+        cell_state[i] = kMemoized;
+      } else if (pending.insert(digests[i]).second) {
+        ++memo_misses_;
+        run_indexes.push_back(i);
+      } else {
+        ++memo_hits_;  // duplicate digest in this sweep: simulated once
+        cell_state[i] = kDuplicate;
+      }
+    }
+  } else {
+    run_indexes.resize(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      run_indexes[i] = i;
+    }
+  }
+
+  // Each running cell gets a private copy of the spec with a cloned attack
+  // schedule: specs may share one schedule object (cheap for serial sweeps),
+  // but Install/history are mutable per-run state that concurrent cells must
+  // not share. Results stay bit-identical — a clone runs exactly as the
+  // original would after its per-run ClearHistory().
+  std::vector<ScenarioSpec> cells;
+  cells.reserve(run_indexes.size());
+  for (const size_t i : run_indexes) {
+    cells.push_back(specs[i]);
+    if (cells.back().attack != nullptr) {
+      cells.back().attack = cells.back().attack->Clone();
+    }
+  }
+
+  pool.ParallelFor(run_indexes.size(),
+                   [this, &cells, &workloads, &results, &run_indexes](size_t j) {
+                     results[run_indexes[j]] =
+                         RunWithWorkload(cells[j], *workloads[run_indexes[j]], InspectFn());
+                   });
+
+  if (memoize_) {
+    // Publish serially in first-appearance order; entries are immutable once
+    // published (a racing Run on a shared runner may have published the same
+    // digest meanwhile — its entry wins and is bit-identical by purity).
+    // Duplicate cells are then filled from the published entries.
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    for (const size_t i : run_indexes) {
+      results_.emplace(digests[i], std::make_shared<const ScenarioResult>(results[i]));
     }
     for (size_t i = 0; i < specs.size(); ++i) {
-      if (workloads[i] == nullptr) {
-        workloads[i] = workloads_.at(
-            WorkloadKey{specs[i].relay_count, specs[i].seed, specs[i].authority_count});
+      if (cell_state[i] == kDuplicate) {
+        results[i] = *results_.at(digests[i]);
       }
     }
   }
-
-  // Each cell gets a private copy of the spec with a cloned attack schedule:
-  // specs may share one schedule object (cheap for serial sweeps), but
-  // Install/history are mutable per-run state that concurrent cells must not
-  // share. Results stay bit-identical — a clone runs exactly as the original
-  // would after its per-run ClearHistory().
-  std::vector<ScenarioSpec> cells(specs.begin(), specs.end());
-  for (ScenarioSpec& cell : cells) {
-    if (cell.attack != nullptr) {
-      cell.attack = cell.attack->Clone();
-    }
-  }
-
-  std::vector<ScenarioResult> results(cells.size());
-  pool.ParallelFor(cells.size(), [this, &cells, &workloads, &results](size_t i) {
-    results[i] = RunWithWorkload(cells[i], *workloads[i], InspectFn());
-  });
   return results;
 }
 

@@ -10,10 +10,22 @@
 // missing workloads are built concurrently on the sweep's thread pool, then
 // each cell runs on a private Simulator/Harness with a per-cell clone of the
 // attack schedule. Parallel results are bit-identical to a serial sweep.
+//
+// On top of the workload cache sits a *result memo*: every run is a pure
+// function of its spec (ROADMAP threading contract), so the runner keys
+// finished ScenarioResults by the canonical spec digest
+// (src/scenario/spec_digest.h) and serves repeat specs from the memo instead
+// of re-simulating. The memo follows the workload cache's discipline —
+// serial probe in spec order (telemetry exact at any thread count), misses
+// executed in parallel, results published serially in first-appearance order
+// and immutable once published. This is what makes long fault-calendar
+// timelines cheap: the ~160 identical quiet rounds of a 168-round week
+// collapse into one simulation.
 #ifndef SRC_SCENARIO_RUNNER_H_
 #define SRC_SCENARIO_RUNNER_H_
 
 #include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -21,6 +33,7 @@
 #include <tuple>
 #include <vector>
 
+#include "src/crypto/digest.h"
 #include "src/scenario/scenario.h"
 #include "src/sim/actor.h"
 #include "src/tordir/generator.h"
@@ -75,6 +88,17 @@ class ScenarioRunner {
   size_t workload_cache_size() const;
   void ClearWorkloadCache();
 
+  // Result-memo telemetry and control. The memo is on by default; turning it
+  // off makes every cell pay full simulation — the differential baseline the
+  // bit-identity tests and fuzz_sweep's --no-memo leg compare against. Not
+  // safe to flip while runs are in flight.
+  void set_memoize(bool on) { memoize_ = on; }
+  bool memoize() const { return memoize_; }
+  size_t result_memo_hits() const;
+  size_t result_memo_misses() const;
+  size_t result_memo_size() const;
+  void ClearResultMemo();
+
  private:
   // A generated population plus all authorities' votes over it, with their
   // serialized bytes (actors need both, and serialization of a multi-megabyte
@@ -96,6 +120,12 @@ class ScenarioRunner {
     std::shared_ptr<const tordir::VoteCache> vote_cache;
   };
   using WorkloadKey = std::tuple<size_t, uint64_t, uint32_t>;  // (relays, seed, n)
+  // Cache entries are shared_futures so a key can be *in flight*: the first
+  // thread to miss publishes a pending future under the lock and builds; any
+  // other thread missing the same key concurrently finds the future (a hit —
+  // one build, shared) and blocks on it instead of paying a duplicate
+  // multi-second BuildWorkload.
+  using WorkloadFuture = std::shared_future<std::shared_ptr<const Workload>>;
 
   // Generates a workload for `spec` without touching the cache or telemetry:
   // pure function of (relay_count, seed, authority_count), safe to call from
@@ -110,12 +140,22 @@ class ScenarioRunner {
   ScenarioResult RunWithWorkload(const ScenarioSpec& spec, const Workload& workload,
                                  const InspectFn& inspect) const;
 
-  // Guards the cache and its telemetry; cells themselves share no mutable
-  // runner state beyond this.
+  // Guards the workload cache and its telemetry; cells themselves share no
+  // mutable runner state beyond this and the memo below.
   mutable std::mutex workloads_mutex_;
-  std::map<WorkloadKey, std::shared_ptr<const Workload>> workloads_;
+  std::map<WorkloadKey, WorkloadFuture> workloads_;
   size_t cache_hits_ = 0;
   size_t cache_misses_ = 0;
+
+  // The result memo: spec digest -> finished result, immutable once
+  // published (emplace never overwrites; a racing duplicate run is discarded
+  // in favor of the published entry, which is bit-identical by the purity
+  // contract). Guarded by memo_mutex_.
+  mutable std::mutex memo_mutex_;
+  std::map<torcrypto::Digest256, std::shared_ptr<const ScenarioResult>> results_;
+  size_t memo_hits_ = 0;
+  size_t memo_misses_ = 0;
+  bool memoize_ = true;
 };
 
 }  // namespace torscenario

@@ -348,6 +348,23 @@ TimelineResult ScenarioRunner::RunTimeline(const TimelineSpec& timeline,
   std::vector<std::optional<size_t>> held(timeline.base.authority_count);
   out.snapshots.reserve(timeline.rounds);
   size_t next_recovery = 0;
+  // Stitch-side memoization mirroring the runner's: memoized quiet rounds
+  // share one ScenarioResult and therefore one document *pointer*, and
+  // pointer equality implies byte equality — so the serialization, framing
+  // digest and round-to-round diff of a repeated document are computed once
+  // and reused. Values are unchanged (the caches only ever substitute results
+  // of the identical computation), so TimelineResult stays bit-identical to a
+  // memo-off run, where every pointer is distinct and every link recomputes.
+  struct {
+    const tordir::ConsensusDocument* doc = nullptr;
+    std::shared_ptr<const std::string> text;
+    torcrypto::Digest256 digest;
+  } last_serialized;
+  struct {
+    const tordir::ConsensusDocument* base = nullptr;
+    const tordir::ConsensusDocument* target = nullptr;
+    std::shared_ptr<const std::string> diff;
+  } last_diff;
   for (uint32_t r = 0; r < timeline.rounds; ++r) {
     const ScenarioResult& round = out.rounds[r];
     // Rejoins first: a recovering authority catches up to the newest document
@@ -366,15 +383,26 @@ TimelineResult ScenarioRunner::RunTimeline(const TimelineSpec& timeline,
       ChainLink link;
       link.round = r;
       link.doc = round.consensus_document;
-      link.text =
-          std::make_shared<const std::string>(tordir::SerializeConsensus(*link.doc));
-      link.digest = torcrypto::Digest256(torcrypto::Sha256TreeDigest(*link.text));
+      if (link.doc.get() == last_serialized.doc) {
+        link.text = last_serialized.text;
+        link.digest = last_serialized.digest;
+      } else {
+        link.text =
+            std::make_shared<const std::string>(tordir::SerializeConsensus(*link.doc));
+        link.digest = torcrypto::Digest256(torcrypto::Sha256TreeDigest(*link.text));
+        last_serialized = {link.doc.get(), link.text, link.digest};
+      }
       if (!chain.empty()) {
-        tordir::ConsensusDiffOptions diff_options;
-        diff_options.base_digest = chain.back().digest;
-        diff_options.target_digest = link.digest;
-        link.diff = std::make_shared<const std::string>(
-            tordir::ComputeConsensusDiff(*chain.back().doc, *link.doc, diff_options));
+        if (chain.back().doc.get() == last_diff.base && link.doc.get() == last_diff.target) {
+          link.diff = last_diff.diff;
+        } else {
+          tordir::ConsensusDiffOptions diff_options;
+          diff_options.base_digest = chain.back().digest;
+          diff_options.target_digest = link.digest;
+          link.diff = std::make_shared<const std::string>(
+              tordir::ComputeConsensusDiff(*chain.back().doc, *link.doc, diff_options));
+          last_diff = {chain.back().doc.get(), link.doc.get(), link.diff};
+        }
         round_diff = link.diff;
       }
       chain.push_back(std::move(link));

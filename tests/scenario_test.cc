@@ -13,6 +13,7 @@
 #include "src/attack/schedule.h"
 #include "src/protocols/directory_protocol.h"
 #include "src/scenario/runner.h"
+#include "src/scenario/spec_digest.h"
 
 namespace torscenario {
 namespace {
@@ -89,6 +90,49 @@ TEST(ScenarioRunnerTest, CachedWorkloadRunsMatchFreshRuns) {
   EXPECT_EQ(first.total_bytes_sent, baseline.total_bytes_sent);
   EXPECT_DOUBLE_EQ(second.latency_seconds, baseline.latency_seconds);
   EXPECT_EQ(second.total_bytes_sent, baseline.total_bytes_sent);
+}
+
+TEST(ScenarioRunnerTest, ResultMemoServesRenamedRepeatsAndKeysOnDeepFields) {
+  ScenarioRunner runner;
+  ASSERT_TRUE(runner.memoize());  // on by default
+
+  ScenarioSpec spec = SmallSpec("icps");
+  spec.byzantine.behaviors[0] = torproto::ByzantineBehavior::kEquivocate;
+  const ScenarioResult first = runner.Run(spec);
+  EXPECT_EQ(runner.result_memo_misses(), 1u);
+  EXPECT_EQ(runner.result_memo_hits(), 0u);
+
+  // Renaming is the documented digest exemption: the repeat is the same
+  // simulation, served from the memo bit-identically.
+  ScenarioSpec renamed = spec;
+  renamed.name = "same-but-renamed";
+  EXPECT_EQ(SpecDigest(renamed), SpecDigest(spec));
+  const ScenarioResult repeat = runner.Run(renamed);
+  EXPECT_EQ(runner.result_memo_hits(), 1u);
+  EXPECT_EQ(runner.result_memo_misses(), 1u);
+  EXPECT_TRUE(BitIdentical(first, repeat));
+
+  // Flipping one deep field — a single byzantine behavior — must be a new
+  // digest and a fresh simulation with its own result, never a silent false
+  // hit on the kEquivocate entry.
+  ScenarioSpec deep = spec;
+  deep.byzantine.behaviors[0] = torproto::ByzantineBehavior::kReplay;
+  EXPECT_NE(SpecDigest(deep), SpecDigest(spec));
+  const ScenarioResult different = runner.Run(deep);
+  EXPECT_EQ(runner.result_memo_misses(), 2u);
+  EXPECT_EQ(runner.result_memo_size(), 2u);
+  EXPECT_FALSE(BitIdentical(first, different));
+
+  // Memo off bypasses the table in both directions: no probe, no publication,
+  // and the recomputed result still matches the memoized one exactly.
+  runner.set_memoize(false);
+  const ScenarioResult unmemoized = runner.Run(spec);
+  EXPECT_EQ(runner.result_memo_hits(), 1u);
+  EXPECT_EQ(runner.result_memo_misses(), 2u);
+  EXPECT_TRUE(BitIdentical(first, unmemoized));
+
+  runner.ClearResultMemo();
+  EXPECT_EQ(runner.result_memo_size(), 0u);
 }
 
 TEST(ScenarioTest, RollingAttackScenarioIsDeterministic) {

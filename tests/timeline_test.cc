@@ -217,6 +217,25 @@ TEST(TimelineTest, GoldenFortyEightRoundRecoveryTrace) {
   // client-hour below the full-document counterfactual.
   EXPECT_LT(result.client_availability.bytes_per_client_hour,
             result.client_availability.full_doc_bytes_per_client_hour);
+
+  // The trace above was produced with the result memo on (the default): the
+  // long quiet tail collapses to one simulation — 36 quiet rounds, the 8
+  // identical attacked rounds, and the crash span's repeated middle rounds
+  // all dedupe, leaving ≤ 5 distinct simulations for 48 rounds.
+  EXPECT_LE(runner.result_memo_misses(), 5u);
+  EXPECT_GE(runner.result_memo_hits(), 43u);
+
+  // The memo must be invisible in the artifact: recomputing every round from
+  // scratch (memo off) yields the bit-identical golden trace at any thread
+  // count.
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ScenarioRunner unmemoized;
+    unmemoized.set_memoize(false);
+    const TimelineResult recomputed =
+        unmemoized.RunTimeline(timeline, SweepOptions{threads});
+    EXPECT_EQ(unmemoized.result_memo_hits() + unmemoized.result_memo_misses(), 0u);
+    EXPECT_TRUE(BitIdentical(result, recomputed)) << threads << " threads, memo off";
+  }
 }
 
 TEST(TimelineSnapshotTest, SnapshotRestoreRoundTripsPerProtocol) {
